@@ -1,0 +1,87 @@
+// Fig 8 + Table 6: key-value store throughput scalability with total server
+// cores, for TAS with the low-level API (TAS LL), TAS with POSIX sockets
+// (TAS SO), IX, and Linux, including the app/fast-path core split TAS uses
+// at each size.
+//
+// Shape to reproduce: TAS LL up to ~1.9x IX and ~9.6x Linux; TAS SO ~1.3x IX
+// and ~7x Linux; sockets cost TAS up to 2 extra stack cores (Table 6).
+#include "bench/bench_common.h"
+
+namespace tas {
+namespace bench {
+namespace {
+
+struct CoreSplit {
+  int app = 0;
+  int stack = 0;
+};
+
+// Paper Table 6: how TAS splits N total cores between app and TCP stack.
+CoreSplit TasSocketsSplit(int total) {
+  switch (total) {
+    case 2:
+      return {1, 1};
+    case 4:
+      return {2, 2};
+    case 8:
+      return {5, 3};
+    case 12:
+      return {7, 5};
+    default:
+      return {9, 7};  // 16.
+  }
+}
+
+CoreSplit TasLowLevelSplit(int total) { return {total / 2, total / 2}; }
+
+double RunPoint(StackKind kind, int total_cores, size_t connections) {
+  KvRunConfig config;
+  config.server_stack = kind;
+  if (kind == StackKind::kTas) {
+    const CoreSplit split = TasSocketsSplit(total_cores);
+    config.server_app_cores = split.app;
+    config.server_stack_cores = split.stack;
+  } else if (kind == StackKind::kTasLowLevel) {
+    const CoreSplit split = TasLowLevelSplit(total_cores);
+    config.server_app_cores = split.app;
+    config.server_stack_cores = split.stack;
+  } else {
+    config.server_app_cores = total_cores;  // Stack inline on app cores.
+    config.server_stack_cores = 1;
+  }
+  config.connections = connections;
+  config.num_client_hosts = 5;
+  config.measure = Ms(10);
+  return RunKv(config).mops;
+}
+
+void Run() {
+  PrintHeader("Fig 8 + Table 6: KV store throughput vs total server cores",
+              "TAS paper Figure 8 and Table 6 (zipf 0.9, 90% GET)");
+  const size_t connections = ScalePick(2048, 32768);
+  std::vector<int> core_counts = {2, 4, 8};
+  if (FullScale()) {
+    core_counts = {2, 4, 8, 12, 16};
+  }
+
+  TablePrinter table({"Total cores", "TAS LL mOps", "TAS SO mOps", "IX mOps",
+                      "Linux mOps", "TAS SO split (app+fp)"});
+  for (int cores : core_counts) {
+    const double ll = RunPoint(StackKind::kTasLowLevel, cores, connections);
+    const double so = RunPoint(StackKind::kTas, cores, connections);
+    const double ix = RunPoint(StackKind::kIx, cores, connections);
+    const double lx = RunPoint(StackKind::kLinux, cores, connections);
+    const CoreSplit split = TasSocketsSplit(cores);
+    table.AddRow(cores, Fmt(ll, 2), Fmt(so, 2), Fmt(ix, 2), Fmt(lx, 2),
+                 std::to_string(split.app) + "+" + std::to_string(split.stack));
+  }
+  table.Print();
+  std::cout << "\nPaper: TAS LL up to 9.6x Linux / 1.9x IX; TAS SO up to 7.0x Linux /\n"
+               "1.3x IX. Table 6: sockets need up to 2 more TAS cores than low-level.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tas
+
+int main() { tas::bench::Run(); }

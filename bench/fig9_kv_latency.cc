@@ -1,0 +1,81 @@
+// Fig 9 + Table 5: key-value store request latency distributions at 15%
+// load (one app core), for server/client stack combinations.
+//
+// Shape to reproduce (paper Table 5, TAS clients): Linux median 97us / 99th
+// 177us / max 1319us; IX median 20us / 99th 30us / max 280us; TAS median
+// 17us / 99th 30us / max 122us — TAS beats IX between median and 99th and
+// has a much shorter extreme tail than both.
+#include "bench/bench_common.h"
+
+namespace tas {
+namespace bench {
+namespace {
+
+KvRunResult RunCombo(StackKind server, StackKind client) {
+  KvRunConfig config;
+  config.server_stack = server;
+  config.server_app_cores = 1;
+  config.server_stack_cores = server == StackKind::kTas ? 1 : 1;
+  config.connections = 128;
+  config.num_client_hosts = 4;
+  config.ideal_clients = false;
+  config.client_stack = client;
+  // 15% utilization: low enough that no stack (incl. single-core Linux at
+  // ~0.12 mOps) saturates, so queues do not build (paper's criterion).
+  config.target_ops_per_sec = 60000;
+  config.warmup = Ms(20);
+  config.measure = ScalePick(40, 400) * kNsPerMs;
+  return RunKv(config);
+}
+
+void Run() {
+  PrintHeader("Fig 9 + Table 5: KV request latency at 15% load",
+              "TAS paper Figure 9 and Table 5 (microseconds)");
+  struct Combo {
+    const char* name;
+    StackKind server;
+    StackKind client;
+  };
+  const Combo combos[] = {
+      {"TAS/TAS", StackKind::kTas, StackKind::kTas},
+      {"IX/TAS", StackKind::kIx, StackKind::kTas},
+      {"TAS/Linux", StackKind::kTas, StackKind::kLinux},
+      {"IX/Linux", StackKind::kIx, StackKind::kLinux},
+      {"Linux/TAS", StackKind::kLinux, StackKind::kTas},
+      {"Linux/Linux", StackKind::kLinux, StackKind::kLinux},
+  };
+
+  TablePrinter table({"Server/Client", "Median us", "90th us", "99th us", "Max us"});
+  std::vector<std::pair<std::string, KvRunResult>> results;
+  for (const Combo& combo : combos) {
+    KvRunResult r = RunCombo(combo.server, combo.client);
+    results.emplace_back(combo.name, r);
+    table.AddRow(combo.name, Fmt(r.median_us, 1), Fmt(r.p90_us, 1), Fmt(r.p99_us, 1),
+                 Fmt(r.max_us, 1));
+  }
+  table.Print();
+
+  std::cout << "\nLatency CDF (TAS/TAS vs Linux/Linux), fraction of requests:\n";
+  TablePrinter cdf({"Percentile", "TAS/TAS us", "Linux/Linux us"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    auto pct = [&](const KvRunResult& r) {
+      // Reconstruct from stored CDF points.
+      for (const auto& [value, frac] : r.latency_cdf) {
+        if (frac * 100 >= p) {
+          return value;
+        }
+      }
+      return r.max_us;
+    };
+    cdf.AddRow(Fmt(p, 1), Fmt(pct(results[0].second), 1), Fmt(pct(results[5].second), 1));
+  }
+  cdf.Print();
+  std::cout << "\nPaper (TAS clients): Linux 97/129/177/1319; IX 20/27/30/280;\n"
+               "TAS 17/20/30/122 (median/90th/99th/max us).\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tas
+
+int main() { tas::bench::Run(); }

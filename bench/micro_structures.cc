@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the real data structures on the TAS
+// hot paths: SPSC context queues, the circular payload buffer, packet wire
+// serialization/parsing, reassembly, and raw simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/reassembly.h"
+#include "src/util/ring_buffer.h"
+#include "src/util/rng.h"
+#include "src/util/spsc_queue.h"
+
+namespace tas {
+namespace {
+
+struct AppEventLike {
+  uint64_t opaque;
+  uint32_t bytes;
+};
+
+void BM_SpscPushPop(benchmark::State& state) {
+  SpscQueue<AppEventLike> queue(1024);
+  for (auto _ : state) {
+    queue.Push(AppEventLike{1, 2});
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+}
+
+void BM_ByteRingWriteRead(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  ByteRing ring(64 * 1024);
+  std::vector<uint8_t> buf(chunk, 0xAB);
+  for (auto _ : state) {
+    ring.Write(buf.data(), chunk);
+    ring.Read(buf.data(), chunk);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * chunk));
+}
+
+void BM_PacketSerialize(benchmark::State& state) {
+  auto pkt = MakeTcpPacket(MakeIp(10, 0, 0, 1), 1000, MakeIp(10, 0, 0, 2), 2000, 1, 2,
+                           TcpFlags::kAck | TcpFlags::kPsh,
+                           std::vector<uint8_t>(static_cast<size_t>(state.range(0))));
+  pkt->tcp.has_timestamps = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Serialize(*pkt));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_PacketParse(benchmark::State& state) {
+  auto pkt = MakeTcpPacket(MakeIp(10, 0, 0, 1), 1000, MakeIp(10, 0, 0, 2), 2000, 1, 2,
+                           TcpFlags::kAck,
+                           std::vector<uint8_t>(static_cast<size_t>(state.range(0))));
+  const auto bytes = Serialize(*pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Parse(bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+  ReassemblyBuffer buf;
+  uint64_t next = 0;
+  for (auto _ : state) {
+    next += buf.Insert(next, next, 1448).advanced;
+  }
+}
+
+void BM_ReassemblyOutOfOrder(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReassemblyBuffer buf;
+    state.ResumeTiming();
+    uint64_t next = 0;
+    // 64 segments arriving in random order.
+    std::vector<uint64_t> offsets;
+    for (uint64_t i = 0; i < 64; ++i) {
+      offsets.push_back(i * 1448);
+    }
+    for (size_t i = offsets.size(); i > 1; --i) {
+      std::swap(offsets[i - 1], offsets[rng.NextUint64(i)]);
+    }
+    for (uint64_t offset : offsets) {
+      next += buf.Insert(next, offset, 1448).advanced;
+    }
+    benchmark::DoNotOptimize(next);
+  }
+}
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    state.ResumeTiming();
+    constexpr int kEvents = 10000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sim.At(i, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+
+void BM_FlowHash(benchmark::State& state) {
+  uint32_t port = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricFlowHash(MakeIp(10, 0, 0, 1),
+                                               static_cast<uint16_t>(port++),
+                                               MakeIp(10, 0, 0, 2), 80));
+  }
+}
+
+BENCHMARK(BM_SpscPushPop);
+BENCHMARK(BM_ByteRingWriteRead)->Arg(64)->Arg(1448)->Arg(16384);
+BENCHMARK(BM_PacketSerialize)->Arg(64)->Arg(1448);
+BENCHMARK(BM_PacketParse)->Arg(64)->Arg(1448);
+BENCHMARK(BM_ReassemblyInOrder);
+BENCHMARK(BM_ReassemblyOutOfOrder);
+BENCHMARK(BM_SimulatorEventThroughput);
+BENCHMARK(BM_FlowHash);
+
+}  // namespace
+}  // namespace tas
+
+BENCHMARK_MAIN();

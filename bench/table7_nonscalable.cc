@@ -1,0 +1,58 @@
+// Table 7: throughput for a non-scalable key-value workload — a single
+// 4-byte key/value pair whose updates serialize on a lock — with varying
+// total core counts.
+//
+// Shape to reproduce: TAS keeps scaling the stack while the app is stuck on
+// one contended core (TAS LL 2.4 -> 4.6 mOps over 2-4 cores); IX tops out
+// lower (2.8) and Linux far lower (0.8 at 4 cores).
+#include "bench/bench_common.h"
+
+namespace tas {
+namespace bench {
+namespace {
+
+double RunPoint(StackKind kind, int total_cores) {
+  KvRunConfig config;
+  config.server_stack = kind;
+  config.contended = true;
+  config.num_keys = 1;
+  config.key_bytes = 4;
+  config.value_bytes = 4;
+  // 4-byte single-key ops are trivial: the stack, not the app, is the
+  // bottleneck (which is exactly what lets TAS keep scaling, paper §5.3).
+  config.server_app_cycles = 250;
+  config.connections = 256;  // Paper: 256 connections.
+  config.num_client_hosts = 4;
+  if (kind == StackKind::kTas || kind == StackKind::kTasLowLevel) {
+    // Paper: 1 application core plus 1-3 fast-path cores.
+    config.server_app_cores = 1;
+    config.server_stack_cores = total_cores - 1;
+  } else {
+    config.server_app_cores = total_cores;
+    config.server_stack_cores = 1;
+  }
+  config.measure = Ms(15);
+  return RunKv(config).mops;
+}
+
+void Run() {
+  PrintHeader("Table 7: non-scalable KV workload (single contended 4B key)",
+              "TAS paper Table 7 (throughput in mOps vs total cores)");
+  TablePrinter table({"Total cores", "TAS LL", "TAS SO", "IX", "Linux"});
+  const int max_cores = 4;
+  for (int cores = 1; cores <= max_cores; ++cores) {
+    std::string ll = cores >= 2 ? Fmt(RunPoint(StackKind::kTasLowLevel, cores), 2) : "-";
+    std::string so = cores >= 2 ? Fmt(RunPoint(StackKind::kTas, cores), 2) : "-";
+    table.AddRow(cores, ll, so, Fmt(RunPoint(StackKind::kIx, cores), 2),
+                 Fmt(RunPoint(StackKind::kLinux, cores), 2));
+  }
+  table.Print();
+  std::cout << "\nPaper: TAS LL 2.4/3.8/4.6 mOps at 2/3/4 cores; TAS SO 2.4/3.1/3.1;\n"
+               "IX 1.5/2.5/2.8/2.8 at 1-4 cores; Linux 0.3/0.4/0.6/0.8.\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tas
+
+int main() { tas::bench::Run(); }

@@ -1,0 +1,107 @@
+// Real-time analytics pipeline demo (FlexStorm, paper §5.4): three nodes in
+// a ring pass tuples spout -> demux -> workers -> mux -> next node over TCP.
+// Runs the same pipeline on the Linux-model stack (with the 10ms output
+// batching it needs) and on TAS (no batching) and prints the per-stage tuple
+// latency breakdown — the paper's Table 8 in miniature.
+//
+// Run: ./build/examples/analytics_pipeline
+#include <cstdio>
+
+#include "src/app/flexstorm.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+namespace {
+
+using namespace tas;
+
+struct PipelineResult {
+  double mtuples_per_sec = 0;
+  double input_us = 0;
+  double processing_us = 0;
+  double output_us = 0;
+  double p99_total_us = 0;
+};
+
+PipelineResult RunPipeline(StackKind kind) {
+  constexpr int kWorkers = 2;
+  constexpr int kAppCores = kWorkers + 2;  // demux + workers + mux.
+
+  std::vector<HostSpec> specs;
+  std::vector<LinkConfig> links;
+  for (int i = 0; i < 3; ++i) {
+    HostSpec spec;
+    spec.stack = kind;
+    spec.app_cores = kAppCores;
+    spec.stack_cores = 2;
+    specs.push_back(spec);
+    links.push_back(LinkConfig{});
+  }
+  auto exp = Experiment::Star(specs, links);
+
+  FlexStormConfig config;
+  config.num_workers = kWorkers;
+  config.spout_rate_tps = 200000;  // Moderate load: latency, not saturation.
+  if (kind == StackKind::kTas) {
+    config.mux_batch_timeout = 0;  // TAS needs no batching.
+  } else {
+    config.mux_batch_timeout = Ms(10);
+  }
+
+  std::vector<std::unique_ptr<FlexStormNode>> nodes;
+  for (int i = 0; i < 3; ++i) {
+    config.rng_seed = 21 + i;
+    nodes.push_back(std::make_unique<FlexStormNode>(
+        &exp->sim(), exp->host(i).stack(), exp->host(i).AppCorePtrs(), config));
+  }
+  for (int i = 0; i < 3; ++i) {
+    nodes[i]->Start(exp->host((i + 1) % 3).ip());
+  }
+
+  exp->sim().RunUntil(Ms(40));
+  for (auto& node : nodes) {
+    node->BeginMeasurement();
+  }
+  exp->sim().RunUntil(Ms(140));
+
+  PipelineResult result;
+  RunningStats input;
+  RunningStats processing;
+  RunningStats output;
+  LatencyRecorder total;
+  for (auto& node : nodes) {
+    result.mtuples_per_sec += node->Throughput() / 1e6;
+    input.Merge(node->input_wait_us());
+    processing.Merge(node->processing_us());
+    output.Merge(node->output_wait_us());
+  }
+  result.input_us = input.mean();
+  result.processing_us = processing.mean();
+  result.output_us = output.mean();
+  result.p99_total_us = nodes[0]->tuple_latency_us().Percentile(99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tas;
+
+  std::printf("FlexStorm pipeline: 3 nodes, tuples make 3 hops over TCP.\n\n");
+  TablePrinter table({"Stack", "mtuples/s", "input wait", "processing", "output wait",
+                      "p99 end-to-end"});
+  for (StackKind kind : {StackKind::kLinux, StackKind::kTas}) {
+    const PipelineResult r = RunPipeline(kind);
+    auto us = [](double v) {
+      return v >= 1000 ? Fmt(v / 1000, 2) + " ms" : Fmt(v, 2) + " us";
+    };
+    table.AddRow(StackKindName(kind), Fmt(r.mtuples_per_sec, 2), us(r.input_us),
+                 us(r.processing_us), us(r.output_us), us(r.p99_total_us));
+  }
+  table.Print();
+  std::printf(
+      "\nThe Linux pipeline needs output batching (10 ms) to amortize its\n"
+      "per-packet cost, which dominates tuple latency; TAS delivers the same\n"
+      "pipeline with microsecond queueing (paper SS5.4).\n");
+  return 0;
+}

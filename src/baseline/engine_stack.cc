@@ -1,0 +1,408 @@
+#include "src/baseline/engine_stack.h"
+
+#include <algorithm>
+
+namespace tas {
+
+EngineStack::EngineStack(Simulator* sim, HostPort* port, std::vector<Core*> app_cores,
+                         const EngineStackConfig& config)
+    : sim_(sim), config_(config), app_cores_(std::move(app_cores)), rng_(config.rng_seed) {
+  TAS_CHECK(!app_cores_.empty());
+  if (config_.stack_cores > 0) {
+    for (int i = 0; i < config_.stack_cores; ++i) {
+      owned_stack_cores_.push_back(std::make_unique<Core>(sim, 100 + i, config_.ghz));
+      stack_cores_.push_back(owned_stack_cores_.back().get());
+    }
+  } else {
+    stack_cores_ = app_cores_;  // Monolithic / run-to-completion: shared.
+  }
+
+  NicConfig nic_config;
+  nic_config.num_queues = static_cast<int>(stack_cores_.size());
+  nic_ = std::make_unique<SimNic>(sim, port, nic_config);
+  for (int q = 0; q < nic_->num_queues(); ++q) {
+    nic_->SetRxNotify(q, [this, q] { DrainRxQueue(q); });
+  }
+  batches_.resize(app_cores_.size());
+}
+
+EngineStack::~EngineStack() = default;
+
+EngineStack::ConnEntry* EngineStack::Entry(ConnId conn) {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const EngineStack::ConnEntry* EngineStack::Entry(ConnId conn) const {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+TcpConnection* EngineStack::connection(ConnId conn) {
+  ConnEntry* entry = Entry(conn);
+  return entry == nullptr ? nullptr : entry->tcp.get();
+}
+
+uint16_t EngineStack::AllocatePort() {
+  for (int attempts = 0; attempts < 45000; ++attempts) {
+    const uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65000 ? 20000 : next_ephemeral_ + 1;
+    if (port_use_count_[port] == 0) {
+      return port;
+    }
+  }
+  TAS_LOG(FATAL) << "ephemeral ports exhausted";
+  return 0;
+}
+
+uint64_t EngineStack::CacheExtraPerPacket() const {
+  return config_.costs->cache.ExtraCyclesPerPacket(conns_.size());
+}
+
+void EngineStack::Listen(uint16_t port) { listeners_.insert(port); }
+
+ConnId EngineStack::Connect(IpAddr dst_ip, uint16_t dst_port) {
+  const uint16_t local_port = AllocatePort();
+  const ConnId id = next_conn_++;
+  const size_t app_core = next_app_core_rr_++ % app_cores_.size();
+
+  ConnEntry entry;
+  entry.app_core = app_core;
+  entry.passive = false;
+  entry.tcp = std::make_unique<TcpConnection>(sim_, this, config_.tcp, nic_->ip(), local_port,
+                                              dst_ip, dst_port,
+                                              static_cast<uint32_t>(rng_.Next()));
+  entry.tcp->opaque = id;
+
+  // Stack core by (symmetric) flow hash, matching the NIC's RSS steering.
+  Packet probe;
+  probe.ip.src = dst_ip;
+  probe.ip.dst = nic_->ip();
+  probe.tcp.src_port = dst_port;
+  probe.tcp.dst_port = local_port;
+  entry.stack_core = static_cast<size_t>(
+      nic_->RedirectionEntryQueue(nic_->RedirectionEntryFor(probe)));
+
+  TcpConnection* tcp = entry.tcp.get();
+  demux_[FlowKey{local_port, dst_ip, dst_port}] = id;
+  port_use_count_[local_port]++;
+  conns_[id] = std::move(entry);
+
+  stack_cores_[conns_[id].stack_core]->Charge(CpuModule::kTcp, config_.costs->connection_setup);
+  tcp->Connect();
+  return id;
+}
+
+size_t EngineStack::Send(ConnId conn, const uint8_t* data, size_t len) {
+  ConnEntry* entry = Entry(conn);
+  if (entry == nullptr) {
+    return 0;
+  }
+  const size_t accepted = entry->tcp->Send(data, len);
+  // Copy cost accrues only for bytes actually taken into the send buffer.
+  app_cores_[entry->app_core]->Charge(
+      CpuModule::kSockets,
+      config_.costs->tx_api + static_cast<uint64_t>(config_.costs->copy_cycles_per_byte *
+                                                    static_cast<double>(accepted)));
+  return accepted;
+}
+
+size_t EngineStack::Recv(ConnId conn, uint8_t* data, size_t len) {
+  ConnEntry* entry = Entry(conn);
+  if (entry == nullptr) {
+    return 0;
+  }
+  const size_t read = entry->tcp->Recv(data, len);
+  app_cores_[entry->app_core]->Charge(
+      CpuModule::kSockets, static_cast<uint64_t>(config_.costs->copy_cycles_per_byte *
+                                                 static_cast<double>(read)));
+  return read;
+}
+
+size_t EngineStack::RecvAvailable(ConnId conn) const {
+  const ConnEntry* entry = Entry(conn);
+  return entry == nullptr ? 0 : entry->tcp->RecvAvailable();
+}
+
+size_t EngineStack::SendSpace(ConnId conn) const {
+  const ConnEntry* entry = Entry(conn);
+  return entry == nullptr ? 0 : entry->tcp->SendSpace();
+}
+
+void EngineStack::Close(ConnId conn) {
+  ConnEntry* entry = Entry(conn);
+  if (entry == nullptr) {
+    return;
+  }
+  stack_cores_[entry->stack_core]->Charge(CpuModule::kTcp,
+                                          config_.costs->connection_teardown);
+  entry->tcp->Close();
+}
+
+void EngineStack::ChargeApp(ConnId conn, uint64_t cycles) {
+  ConnEntry* entry = Entry(conn);
+  const size_t core = entry == nullptr ? 0 : entry->app_core;
+  app_cores_[core]->Charge(
+      CpuModule::kApp, static_cast<uint64_t>(static_cast<double>(cycles) *
+                                             config_.costs->app_interference_factor));
+}
+
+// --- NIC receive path --------------------------------------------------------
+
+void EngineStack::DrainRxQueue(int queue) {
+  Core* core = stack_cores_[static_cast<size_t>(queue)];
+  const StackCostModel& costs = *config_.costs;
+  while (PacketPtr pkt = nic_->PopRx(queue)) {
+    // Bounded backlog: a real stack's softirq queue overflows under
+    // persistent overload.
+    if (core->busy_until() - sim_->Now() > config_.max_backlog) {
+      ++backlog_drops_;
+      continue;
+    }
+    // Pure ACK / control segments take the short header-only path: no
+    // socket hand-off, no copy, a fraction of the header processing.
+    TimeNs done;
+    if (pkt->payload.empty()) {
+      core->Charge(CpuModule::kDriver, costs.rx_driver / 2);
+      core->Charge(CpuModule::kIp, costs.rx_ip / 4);
+      done = core->Charge(CpuModule::kTcp, costs.rx_tcp / 8);
+    } else {
+      const uint64_t tcp_cycles =
+          costs.rx_tcp + CacheExtraPerPacket() +
+          static_cast<uint64_t>(costs.copy_cycles_per_byte *
+                                static_cast<double>(pkt->payload.size()));
+      core->Charge(CpuModule::kDriver, costs.rx_driver);
+      core->Charge(CpuModule::kIp, costs.rx_ip);
+      done = core->Charge(CpuModule::kTcp, tcp_cycles);
+    }
+    auto* raw = pkt.release();
+    const int q = queue;
+    sim_->At(done, [this, q, raw] { HandlePacket(q, PacketPtr(raw)); });
+  }
+}
+
+void EngineStack::HandlePacket(int queue, PacketPtr pkt) {
+  const FlowKey key{pkt->tcp.dst_port, pkt->ip.src, pkt->tcp.src_port};
+  auto it = demux_.find(key);
+  if (it != demux_.end()) {
+    ConnEntry* entry = Entry(it->second);
+    if (entry != nullptr) {
+      entry->tcp->HandlePacket(*pkt);
+    }
+    return;
+  }
+  // New connection?
+  if (pkt->tcp.syn() && !pkt->tcp.ack_flag() &&
+      listeners_.count(pkt->tcp.dst_port) != 0) {
+    const ConnId id = next_conn_++;
+    ConnEntry entry;
+    entry.app_core = next_app_core_rr_++ % app_cores_.size();
+    entry.stack_core = static_cast<size_t>(queue);
+    entry.passive = true;
+    entry.tcp = std::make_unique<TcpConnection>(
+        sim_, this, config_.tcp, nic_->ip(), pkt->tcp.dst_port, pkt->ip.src,
+        pkt->tcp.src_port, static_cast<uint32_t>(rng_.Next()));
+    entry.tcp->opaque = id;
+    TcpConnection* tcp = entry.tcp.get();
+    demux_[key] = id;
+    port_use_count_[pkt->tcp.dst_port]++;
+    conns_[id] = std::move(entry);
+    stack_cores_[static_cast<size_t>(queue)]->Charge(CpuModule::kTcp,
+                                                     config_.costs->connection_setup);
+    tcp->AcceptSyn(*pkt);
+  }
+  // Otherwise: stale segment for a dead connection; drop.
+}
+
+// --- Engine host callbacks ----------------------------------------------------
+
+void EngineStack::EmitPacket(TcpConnection* conn, PacketPtr pkt) {
+  ConnEntry* entry = Entry(IdOf(conn));
+  Core* core = stack_cores_[entry == nullptr ? 0 : entry->stack_core];
+  const StackCostModel& costs = *config_.costs;
+  uint64_t cycles;
+  if (pkt->payload.empty()) {
+    // Pure ACK / control segment: header-only work.
+    cycles = costs.tx_driver + costs.tx_ip + costs.tx_tcp / 4;
+  } else {
+    cycles = costs.tx_driver + costs.tx_ip + costs.tx_tcp + CacheExtraPerPacket() +
+             static_cast<uint64_t>(costs.copy_cycles_per_byte *
+                                   static_cast<double>(pkt->payload.size()));
+  }
+  core->Charge(CpuModule::kDriver, costs.tx_driver);
+  const TimeNs done = core->Charge(CpuModule::kTcp, cycles - costs.tx_driver);
+  auto* raw = pkt.release();
+  sim_->At(done, [this, raw] { nic_->Transmit(PacketPtr(raw)); });
+}
+
+void EngineStack::OnConnected(TcpConnection* conn) {
+  ConnEntry* entry = Entry(IdOf(conn));
+  if (entry == nullptr) {
+    return;
+  }
+  PendingEvent event{entry->passive ? PendingEvent::Kind::kAccepted
+                                    : PendingEvent::Kind::kConnected,
+                     IdOf(conn)};
+  event.port = conn->local_port();
+  DeliverEvent(entry->app_core, event, config_.costs->rx_api);
+}
+
+void EngineStack::OnConnectFailed(TcpConnection* conn) {
+  const ConnId id = IdOf(conn);
+  ConnEntry* entry = Entry(id);
+  if (entry == nullptr) {
+    return;
+  }
+  demux_.erase(FlowKey{conn->local_port(), conn->remote_ip(), conn->remote_port()});
+  port_use_count_[conn->local_port()]--;
+  const size_t app_core = entry->app_core;
+  // Defer destruction: this callback can arrive from inside the engine.
+  std::shared_ptr<TcpConnection> keep_alive(entry->tcp.release());
+  conns_.erase(id);
+  sim_->After(0, [keep_alive] {});
+  PendingEvent event{PendingEvent::Kind::kConnected, id};
+  event.ok = false;
+  DeliverEvent(app_core, event, config_.costs->rx_api);
+}
+
+void EngineStack::OnDataAvailable(TcpConnection* conn, size_t bytes) {
+  ConnEntry* entry = Entry(IdOf(conn));
+  if (entry == nullptr) {
+    return;
+  }
+  PendingEvent event{PendingEvent::Kind::kData, IdOf(conn)};
+  event.bytes = bytes;
+  DeliverEvent(entry->app_core, event, config_.costs->rx_api);
+}
+
+void EngineStack::OnSendSpace(TcpConnection* conn, size_t bytes) {
+  ConnEntry* entry = Entry(IdOf(conn));
+  if (entry == nullptr || handler_ == nullptr) {
+    return;
+  }
+  PendingEvent event{PendingEvent::Kind::kSendSpace, IdOf(conn)};
+  event.bytes = bytes;
+  DeliverEvent(entry->app_core, event, 60);
+}
+
+void EngineStack::OnRemoteClose(TcpConnection* conn) {
+  ConnEntry* entry = Entry(IdOf(conn));
+  if (entry == nullptr) {
+    return;
+  }
+  DeliverEvent(entry->app_core, PendingEvent{PendingEvent::Kind::kRemoteClosed, IdOf(conn)},
+               config_.costs->rx_api);
+}
+
+void EngineStack::OnClosed(TcpConnection* conn) {
+  const ConnId id = IdOf(conn);
+  ConnEntry* entry = Entry(id);
+  if (entry == nullptr) {
+    return;
+  }
+  demux_.erase(
+      FlowKey{conn->local_port(), conn->remote_ip(), conn->remote_port()});
+  port_use_count_[conn->local_port()]--;
+  const size_t app_core = entry->app_core;
+  // Keep the TcpConnection alive until the deferred event dispatch; move it
+  // out of the table now so new connections can reuse the 4-tuple.
+  auto keep_alive = std::shared_ptr<TcpConnection>(entry->tcp.release());
+  conns_.erase(id);
+  PendingEvent event{PendingEvent::Kind::kClosed, id};
+  DeliverEvent(app_core, event, 60);
+  sim_->After(0, [keep_alive] {});  // Destroyed after the current event.
+}
+
+// --- Event delivery ------------------------------------------------------------
+
+void EngineStack::DeliverEvent(size_t app_core, PendingEvent event, uint64_t api_cycles) {
+  if (config_.event_batch <= 1) {
+    const TimeNs done =
+        app_cores_[app_core]->Charge(CpuModule::kSockets, api_cycles) + config_.wakeup_latency;
+    sim_->At(done, [this, event] { DispatchEvent(event); });
+    return;
+  }
+  // mTCP-style batching: queue and flush on size or timeout.
+  Batch& batch = batches_[app_core];
+  batch.events.push_back(event);
+  if (batch.events.size() >= config_.event_batch) {
+    batch.flush_timer.Cancel();
+    FlushBatch(app_core);
+  } else if (!batch.flush_timer.valid()) {
+    batch.flush_timer =
+        sim_->After(config_.batch_timeout, [this, app_core] { FlushBatch(app_core); });
+  }
+}
+
+void EngineStack::FlushBatch(size_t app_core) {
+  Batch& batch = batches_[app_core];
+  Core* core = app_cores_[app_core];
+  while (!batch.events.empty()) {
+    PendingEvent event = batch.events.front();
+    batch.events.pop_front();
+    const TimeNs done = core->Charge(CpuModule::kSockets, config_.costs->rx_api);
+    sim_->At(done, [this, event] { DispatchEvent(event); });
+  }
+}
+
+void EngineStack::DispatchEvent(const PendingEvent& event) {
+  if (handler_ == nullptr) {
+    return;
+  }
+  switch (event.kind) {
+    case PendingEvent::Kind::kData:
+      handler_->OnData(event.conn, event.bytes);
+      return;
+    case PendingEvent::Kind::kSendSpace:
+      handler_->OnSendSpace(event.conn, event.bytes);
+      return;
+    case PendingEvent::Kind::kConnected:
+      handler_->OnConnected(event.conn, event.ok);
+      return;
+    case PendingEvent::Kind::kAccepted:
+      handler_->OnAccepted(event.conn, event.port);
+      return;
+    case PendingEvent::Kind::kRemoteClosed:
+      handler_->OnRemoteClosed(event.conn);
+      return;
+    case PendingEvent::Kind::kClosed:
+      handler_->OnClosed(event.conn);
+      return;
+  }
+}
+
+// --- Factories -----------------------------------------------------------------
+
+EngineStackConfig LinuxStackConfig() {
+  EngineStackConfig config;
+  config.stack_cores = 0;  // In-kernel: shares application cores.
+  config.costs = &LinuxCostModel();
+  config.tcp.use_sack = true;
+  config.tcp.cc = CcAlgorithm::kDctcpWindow;
+  config.wakeup_latency = Us(3);  // Softirq + scheduler wakeup.
+  return config;
+}
+
+EngineStackConfig IxStackConfig() {
+  EngineStackConfig config;
+  config.stack_cores = 0;  // Run-to-completion on app cores.
+  config.costs = &IxCostModel();
+  config.tcp.use_sack = true;
+  config.tcp.cc = CcAlgorithm::kDctcpWindow;
+  config.wakeup_latency = 0;
+  return config;
+}
+
+EngineStackConfig MtcpStackConfig(int stack_cores) {
+  EngineStackConfig config;
+  config.stack_cores = stack_cores;  // Dedicated user-level stack cores.
+  config.costs = &MtcpCostModel();
+  config.tcp.use_sack = true;
+  config.tcp.cc = CcAlgorithm::kDctcpWindow;
+  config.wakeup_latency = 0;
+  config.event_batch = 32;       // Collects packets into large batches
+  config.batch_timeout = Us(100);  // (paper §5.4).
+  return config;
+}
+
+}  // namespace tas

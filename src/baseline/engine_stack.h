@@ -1,0 +1,149 @@
+// EngineStack: the baseline TCP stacks (Linux / IX / mTCP models), built on
+// the full TCP engine (src/tcp/engine) over the simulated NIC.
+//
+// One implementation, three architectures, selected by configuration:
+//  * Linux  — monolithic in-kernel stack: stack work shares the application
+//    cores, heavy per-op costs (syscalls, socket layer), softirq/scheduler
+//    wakeup latency, large per-connection state (cache model), window DCTCP,
+//    full reassembly + SACK.
+//  * IX     — protected kernel bypass: run-to-completion on the app cores,
+//    small per-op costs, no wakeup latency, libevent-style API (no POSIX
+//    sockets), per-connection state still sizable (cache model).
+//  * mTCP   — user-level stack on DEDICATED stack cores with BATCHED event
+//    hand-off to application cores (throughput via batching, latency cost).
+//
+// The factories at the bottom encode the paper-calibrated parameters.
+#ifndef SRC_BASELINE_ENGINE_STACK_H_
+#define SRC_BASELINE_ENGINE_STACK_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/baseline/stack_iface.h"
+#include "src/cpu/core.h"
+#include "src/cpu/cost_model.h"
+#include "src/nic/nic.h"
+#include "src/tcp/engine.h"
+#include "src/util/rng.h"
+
+namespace tas {
+
+struct EngineStackConfig {
+  // Cores the stack charges protocol work on. 0 = share the app cores
+  // (Linux, IX); >0 = dedicated stack cores (mTCP).
+  int stack_cores = 0;
+  double ghz = 2.1;
+  const StackCostModel* costs = &LinuxCostModel();
+  TcpConfig tcp;
+  // Scheduler/softirq wakeup cost added before app callbacks (Linux).
+  TimeNs wakeup_latency = 0;
+  // Event batching toward the app (mTCP): deliver when `event_batch` events
+  // accumulated or `batch_timeout` elapsed.
+  size_t event_batch = 1;
+  TimeNs batch_timeout = 0;
+  // Drop incoming packets when a stack core's backlog exceeds this (models
+  // bounded softirq/backlog queues).
+  TimeNs max_backlog = Ms(2);
+  uint64_t rng_seed = 0xBA5E;
+};
+
+class EngineStack : public Stack, public TcpEngineHost {
+ public:
+  EngineStack(Simulator* sim, HostPort* port, std::vector<Core*> app_cores,
+              const EngineStackConfig& config);
+  ~EngineStack() override;
+
+  // --- Stack interface -------------------------------------------------------
+  void SetHandler(AppHandler* handler) override { handler_ = handler; }
+  void Listen(uint16_t port) override;
+  ConnId Connect(IpAddr dst_ip, uint16_t dst_port) override;
+  size_t Send(ConnId conn, const uint8_t* data, size_t len) override;
+  size_t Recv(ConnId conn, uint8_t* data, size_t len) override;
+  size_t RecvAvailable(ConnId conn) const override;
+  size_t SendSpace(ConnId conn) const override;
+  void Close(ConnId conn) override;
+  void ChargeApp(ConnId conn, uint64_t cycles) override;
+  IpAddr local_ip() const override { return nic_->ip(); }
+
+  // --- Introspection ---------------------------------------------------------
+  SimNic* nic() { return nic_.get(); }
+  size_t num_connections() const { return conns_.size(); }
+  Core* stack_core(size_t i) { return stack_cores_[i]; }
+  size_t num_stack_cores() const { return stack_cores_.size(); }
+  uint64_t backlog_drops() const { return backlog_drops_; }
+  TcpConnection* connection(ConnId conn);
+
+ private:
+  struct ConnEntry {
+    std::unique_ptr<TcpConnection> tcp;
+    size_t app_core = 0;    // Index into app_cores_.
+    size_t stack_core = 0;  // Index into stack_cores_.
+    bool passive = false;
+  };
+
+  struct PendingEvent {
+    enum class Kind { kData, kSendSpace, kConnected, kAccepted, kRemoteClosed, kClosed };
+    Kind kind;
+    ConnId conn;
+    size_t bytes = 0;
+    bool ok = true;
+    uint16_t port = 0;
+  };
+
+  // --- TcpEngineHost ---------------------------------------------------------
+  void EmitPacket(TcpConnection* conn, PacketPtr pkt) override;
+  void OnConnected(TcpConnection* conn) override;
+  void OnConnectFailed(TcpConnection* conn) override;
+  void OnDataAvailable(TcpConnection* conn, size_t bytes) override;
+  void OnSendSpace(TcpConnection* conn, size_t bytes) override;
+  void OnRemoteClose(TcpConnection* conn) override;
+  void OnClosed(TcpConnection* conn) override;
+
+  void DrainRxQueue(int queue);
+  void HandlePacket(int queue, PacketPtr pkt);
+  void DeliverEvent(size_t app_core, PendingEvent event, uint64_t api_cycles);
+  void FlushBatch(size_t app_core);
+  void DispatchEvent(const PendingEvent& event);
+  ConnEntry* Entry(ConnId conn);
+  const ConnEntry* Entry(ConnId conn) const;
+  ConnId IdOf(TcpConnection* conn) const { return conn->opaque; }
+  uint16_t AllocatePort();
+  uint64_t CacheExtraPerPacket() const;
+
+  Simulator* sim_;
+  EngineStackConfig config_;
+  std::unique_ptr<SimNic> nic_;
+  std::vector<Core*> app_cores_;
+  std::vector<std::unique_ptr<Core>> owned_stack_cores_;
+  std::vector<Core*> stack_cores_;  // Aliases app_cores_ or owned cores.
+  AppHandler* handler_ = nullptr;
+
+  std::unordered_map<ConnId, ConnEntry> conns_;
+  std::unordered_map<FlowKey, ConnId, FlowKeyHash> demux_;
+  std::unordered_set<uint16_t> listeners_;
+  std::vector<uint32_t> port_use_count_ = std::vector<uint32_t>(65536, 0);
+  uint16_t next_ephemeral_ = 20000;
+  ConnId next_conn_ = 1;
+  size_t next_app_core_rr_ = 0;
+
+  // Per-app-core batched event queues (mTCP mode).
+  struct Batch {
+    std::deque<PendingEvent> events;
+    EventHandle flush_timer;
+  };
+  std::vector<Batch> batches_;
+  uint64_t backlog_drops_ = 0;
+  Rng rng_;
+};
+
+// Paper-calibrated factories.
+EngineStackConfig LinuxStackConfig();
+EngineStackConfig IxStackConfig();
+EngineStackConfig MtcpStackConfig(int stack_cores = 1);
+
+}  // namespace tas
+
+#endif  // SRC_BASELINE_ENGINE_STACK_H_

@@ -1,0 +1,71 @@
+// Stack: the transport interface applications program against.
+//
+// Every stack in this repository — TAS (via libTAS sockets or the low-level
+// API) and the Linux/IX/mTCP baseline models — implements this interface, so
+// the example applications and every benchmark workload run unmodified on
+// any of them (the paper's "applications do not need to be modified, only
+// relinked", §3).
+//
+// Timing contract: handler callbacks fire on the simulated timeline *after*
+// the stack has charged its per-operation CPU costs; an application that
+// needs to model its own compute calls ChargeApp() before issuing sends, and
+// the effects of those sends are serialized behind the charged work on the
+// owning application core.
+#ifndef SRC_BASELINE_STACK_IFACE_H_
+#define SRC_BASELINE_STACK_IFACE_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+using ConnId = uint64_t;
+inline constexpr ConnId kInvalidConn = ~ConnId{0};
+
+class AppHandler {
+ public:
+  virtual ~AppHandler() = default;
+
+  // Active open finished (success or failure).
+  virtual void OnConnected(ConnId conn, bool success) { (void)conn; (void)success; }
+  // A new connection was accepted on a listening port.
+  virtual void OnAccepted(ConnId conn, uint16_t local_port) { (void)conn; (void)local_port; }
+  // `bytes` of new payload are readable via Recv().
+  virtual void OnData(ConnId conn, size_t bytes) { (void)conn; (void)bytes; }
+  // `bytes` of send-buffer space were reclaimed (payload acknowledged).
+  virtual void OnSendSpace(ConnId conn, size_t bytes) { (void)conn; (void)bytes; }
+  // The peer closed its direction of the connection.
+  virtual void OnRemoteClosed(ConnId conn) { (void)conn; }
+  // The connection is fully gone.
+  virtual void OnClosed(ConnId conn) { (void)conn; }
+};
+
+class Stack {
+ public:
+  virtual ~Stack() = default;
+
+  virtual void SetHandler(AppHandler* handler) = 0;
+  virtual void Listen(uint16_t port) = 0;
+  // Returns the connection id immediately; OnConnected reports the result.
+  virtual ConnId Connect(IpAddr dst_ip, uint16_t dst_port) = 0;
+  // Appends payload to the connection's send buffer; returns bytes accepted.
+  virtual size_t Send(ConnId conn, const uint8_t* data, size_t len) = 0;
+  // Reads received payload; returns bytes read.
+  virtual size_t Recv(ConnId conn, uint8_t* data, size_t len) = 0;
+  virtual size_t RecvAvailable(ConnId conn) const = 0;
+  virtual size_t SendSpace(ConnId conn) const = 0;
+  virtual void Close(ConnId conn) = 0;
+
+  // Charges application compute on the core owning `conn`, applying the
+  // stack's app-interference factor (cache/TLB pollution from sharing cores
+  // with the stack, paper Table 1's App row).
+  virtual void ChargeApp(ConnId conn, uint64_t cycles) = 0;
+
+  virtual IpAddr local_ip() const = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_BASELINE_STACK_IFACE_H_

@@ -1,0 +1,61 @@
+#include "src/cc/dctcp_rate.h"
+
+#include <algorithm>
+
+namespace tas {
+
+DctcpRateCc::DctcpRateCc(const DctcpRateConfig& config)
+    : config_(config), rate_bps_(config.initial_bps) {}
+
+void DctcpRateCc::Reset(double initial_bps) {
+  rate_bps_ = initial_bps;
+  alpha_ = 0;
+  slow_start_ = true;
+}
+
+double DctcpRateCc::Update(const CcFeedback& feedback) {
+  // Clamp to 20% above the measured send rate first (paper: "we ensure at
+  // the beginning of the control loop that the rate is no more than 20%
+  // higher than the flow's send rate"). Applied only to app-limited flows
+  // (for a backlogged flow the measured rate IS the enforced rate, and
+  // per-interval MSS quantization would pin it); not during slow start; and
+  // never below the cap floor, so request/response flows burst promptly.
+  if (feedback.actual_tx_bps > 0 && feedback.app_limited && !slow_start_) {
+    const double cap = std::max(feedback.actual_tx_bps * config_.rate_cap_headroom,
+                                config_.rate_cap_floor_bps);
+    rate_bps_ = std::min(rate_bps_, cap);
+    rate_bps_ = std::max(rate_bps_, config_.min_bps);
+  }
+
+  const bool have_acks = feedback.acked_bytes > 0;
+  const double fraction =
+      have_acks ? static_cast<double>(feedback.ecn_bytes) /
+                      static_cast<double>(feedback.acked_bytes)
+                : 0.0;
+  alpha_ = (1 - config_.ewma_gain) * alpha_ + config_.ewma_gain * fraction;
+
+  const bool congested = fraction > 0 || feedback.retransmits > 0;
+  if (slow_start_) {
+    if (!congested) {
+      if (have_acks) {
+        rate_bps_ *= 2;
+      }
+    } else {
+      slow_start_ = false;
+      rate_bps_ *= (1 - alpha_ / 2);
+    }
+  } else if (feedback.retransmits > 0) {
+    rate_bps_ /= 2;
+  } else if (fraction > 0) {
+    rate_bps_ *= (1 - alpha_ / 2);
+  } else if (have_acks) {
+    // Additive increase only on intervals with feedback: an idle or
+    // ack-starved flow must not ratchet its rate upward.
+    rate_bps_ += config_.additive_step_bps;
+  }
+
+  rate_bps_ = std::clamp(rate_bps_, config_.min_bps, config_.max_bps);
+  return rate_bps_;
+}
+
+}  // namespace tas

@@ -1,0 +1,33 @@
+#include "src/cc/newreno.h"
+
+#include <algorithm>
+
+namespace tas {
+
+NewRenoCc::NewRenoCc(const WindowCcConfig& config)
+    : config_(config),
+      cwnd_(config.mss * config.initial_cwnd_segments),
+      ssthresh_(config.max_cwnd_bytes) {}
+
+void NewRenoCc::OnAck(uint64_t acked_bytes, bool ecn_echo, TimeNs rtt) {
+  (void)rtt;
+  (void)ecn_echo;  // NewReno ignores ECN (the Fig 11 "TCP" baseline).
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_bytes;
+  } else {
+    cwnd_ += std::max<uint64_t>(1, config_.mss * acked_bytes / std::max<uint64_t>(cwnd_, 1));
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd_bytes);
+}
+
+void NewRenoCc::OnFastRetransmit() {
+  ssthresh_ = std::max(cwnd_ / 2, config_.mss * config_.min_cwnd_segments);
+  cwnd_ = ssthresh_;
+}
+
+void NewRenoCc::OnTimeout() {
+  ssthresh_ = std::max(cwnd_ / 2, config_.mss * config_.min_cwnd_segments);
+  cwnd_ = config_.mss;
+}
+
+}  // namespace tas

@@ -1,0 +1,31 @@
+// TCP NewReno window congestion control (RFC 5681/6582 behaviour at the
+// granularity this simulator needs): slow start, congestion avoidance,
+// halving on fast retransmit, collapse to one segment on timeout. This is
+// the "TCP" baseline of paper Fig 11.
+#ifndef SRC_CC_NEWRENO_H_
+#define SRC_CC_NEWRENO_H_
+
+#include "src/cc/cc.h"
+#include "src/cc/dctcp_window.h"
+
+namespace tas {
+
+class NewRenoCc : public WindowCc {
+ public:
+  explicit NewRenoCc(const WindowCcConfig& config = {});
+
+  void OnAck(uint64_t acked_bytes, bool ecn_echo, TimeNs rtt) override;
+  void OnFastRetransmit() override;
+  void OnTimeout() override;
+  uint64_t cwnd() const override { return cwnd_; }
+  uint64_t ssthresh() const { return ssthresh_; }
+
+ private:
+  WindowCcConfig config_;
+  uint64_t cwnd_;
+  uint64_t ssthresh_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_CC_NEWRENO_H_

@@ -1,0 +1,68 @@
+#include "src/cc/timely.h"
+
+#include <algorithm>
+
+namespace tas {
+
+TimelyCc::TimelyCc(const TimelyConfig& config)
+    : config_(config), rate_bps_(config.initial_bps) {}
+
+void TimelyCc::Reset(double initial_bps) {
+  rate_bps_ = initial_bps;
+  prev_rtt_ = 0;
+  rtt_diff_ = 0;
+  negative_gradient_count_ = 0;
+  slow_start_ = true;
+}
+
+double TimelyCc::Update(const CcFeedback& feedback) {
+  if (feedback.actual_tx_bps > 0) {
+    rate_bps_ = std::min(rate_bps_, feedback.actual_tx_bps * 1.2);
+    rate_bps_ = std::max(rate_bps_, config_.min_bps);
+  }
+  const TimeNs rtt = feedback.rtt;
+  if (rtt <= 0) {
+    return rate_bps_;
+  }
+
+  if (slow_start_) {
+    if (rtt < config_.t_high && feedback.retransmits == 0) {
+      if (feedback.acked_bytes > 0) {
+        rate_bps_ *= 2;
+      }
+      rate_bps_ = std::clamp(rate_bps_, config_.min_bps, config_.max_bps);
+      prev_rtt_ = rtt;
+      return rate_bps_;
+    }
+    slow_start_ = false;
+  }
+
+  const TimeNs new_rtt_diff = prev_rtt_ == 0 ? 0 : rtt - prev_rtt_;
+  prev_rtt_ = rtt;
+  rtt_diff_ = (1 - config_.ewma_alpha) * rtt_diff_ +
+              config_.ewma_alpha * static_cast<double>(new_rtt_diff);
+  const double gradient = rtt_diff_ / static_cast<double>(config_.min_rtt);
+
+  if (feedback.retransmits > 0) {
+    rate_bps_ /= 2;
+  } else if (rtt < config_.t_low) {
+    rate_bps_ += config_.additive_step_bps;
+    negative_gradient_count_ = 0;
+  } else if (rtt > config_.t_high) {
+    rate_bps_ *= 1 - config_.beta * (1 - static_cast<double>(config_.t_high) /
+                                             static_cast<double>(rtt));
+    negative_gradient_count_ = 0;
+  } else if (gradient <= 0) {
+    ++negative_gradient_count_;
+    const int n = negative_gradient_count_ >= config_.hai_threshold ? 5 : 1;
+    rate_bps_ += n * config_.additive_step_bps;
+  } else {
+    negative_gradient_count_ = 0;
+    rate_bps_ *= 1 - config_.beta * std::min(gradient, 1.0);
+  }
+
+  rate_bps_ = std::clamp(rate_bps_, config_.min_bps, config_.max_bps);
+  return rate_bps_;
+}
+
+}  // namespace tas

@@ -1,0 +1,149 @@
+#include "src/cpu/cost_model.h"
+
+#include <algorithm>
+
+namespace tas {
+
+uint64_t CacheModel::ExtraCyclesPerPacket(uint64_t connections) const {
+  if (per_connection_state_bytes <= 0 || state_lines_per_packet <= 0) {
+    return 0;
+  }
+  const double footprint = static_cast<double>(connections) * per_connection_state_bytes;
+  if (footprint <= effective_cache_bytes) {
+    return 0;
+  }
+  const double miss_prob = 1.0 - effective_cache_bytes / footprint;
+  return static_cast<uint64_t>(state_lines_per_packet * miss_penalty_cycles * miss_prob);
+}
+
+uint64_t StackCostModel::RequestCycles() const {
+  return rx_driver + rx_ip + rx_tcp + tx_driver + tx_ip + tx_tcp + rx_api + tx_api +
+         other_per_request;
+}
+
+const StackCostModel& LinuxCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m;
+    m.rx_driver = 400;
+    m.tx_driver = 330;
+    m.rx_ip = 800;
+    m.tx_ip = 730;
+    m.rx_tcp = 2100;
+    m.tx_tcp = 1820;
+    m.rx_api = 4200;  // epoll_wait + recv, incl. syscall crossings.
+    m.tx_api = 3800;  // send, incl. syscall crossing and skb setup.
+    m.other_per_request = 1500;
+    m.copy_cycles_per_byte = 0.5;  // Two copies: wire<->kernel<->user.
+    m.connection_setup = 12000;
+    m.connection_teardown = 8000;
+    m.app_interference_factor = 1.57;  // Table 1: app 1070 vs TAS 680.
+    m.cache.per_connection_state_bytes = 2048;
+    m.cache.state_lines_per_packet = 40;
+    return m;
+  }();
+  return kModel;
+}
+
+const StackCostModel& IxCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m;
+    m.rx_driver = 30;
+    m.tx_driver = 20;
+    m.rx_ip = 60;
+    m.tx_ip = 60;
+    m.rx_tcp = 550;
+    m.tx_tcp = 500;
+    m.rx_api = 400;  // libevent-style event delivery, no syscall.
+    m.tx_api = 360;
+    m.other_per_request = 0;
+    m.copy_cycles_per_byte = 0.25;
+    m.connection_setup = 9000;
+    m.connection_teardown = 6000;
+    m.app_interference_factor = 1.12;  // Table 1: app 760 vs TAS 680.
+    m.cache.per_connection_state_bytes = 1024;
+    m.cache.state_lines_per_packet = 28;
+    return m;
+  }();
+  return kModel;
+}
+
+const StackCostModel& TasSocketsCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m;
+    m.rx_driver = 50;
+    m.tx_driver = 40;
+    m.rx_ip = 0;  // Folded into the fast-path TCP pipeline.
+    m.tx_ip = 0;
+    m.rx_tcp = 430;
+    m.tx_tcp = 380;
+    m.rx_api = 330;  // libTAS sockets emulation (Table 1: 620/request).
+    m.tx_api = 290;
+    m.other_per_request = 0;
+    m.copy_cycles_per_byte = 0.25;
+    // Connection setup bounces app <-> slow path <-> fast path several times
+    // (paper §5.1 short-lived connections: TAS loses below ~4 RPCs/conn).
+    // Charged half on each endpoint's slow path.
+    m.connection_setup = 90000;
+    m.connection_teardown = 60000;
+    m.app_interference_factor = 1.0;  // Fast path is isolated from the app.
+    // 102 B flow state + context queue slots + buffer descriptors.
+    m.cache.per_connection_state_bytes = 256;
+    m.cache.state_lines_per_packet = 2;
+    m.cache.effective_cache_bytes = 16.0 * 1024 * 1024;
+    return m;
+  }();
+  return kModel;
+}
+
+const StackCostModel& TasLowLevelCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m = TasSocketsCostModel();
+    // Table 2: frontend overhead drops to 168 cycles/request with the
+    // low-level interface.
+    m.rx_api = 90;
+    m.tx_api = 78;
+    return m;
+  }();
+  return kModel;
+}
+
+const StackCostModel& MtcpCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m;
+    m.rx_driver = 40;
+    m.tx_driver = 30;
+    m.rx_ip = 120;
+    m.tx_ip = 100;
+    m.rx_tcp = 900;
+    m.tx_tcp = 800;
+    m.rx_api = 500;  // mTCP API with inter-thread queueing.
+    m.tx_api = 450;
+    m.other_per_request = 300;
+    m.copy_cycles_per_byte = 0.25;
+    m.connection_setup = 14000;
+    m.connection_teardown = 9000;
+    m.app_interference_factor = 1.05;  // Stack on its own core.
+    m.cache.per_connection_state_bytes = 1024;
+    m.cache.state_lines_per_packet = 30;
+    return m;
+  }();
+  return kModel;
+}
+
+const StackCostModel& MinimalCostModel() {
+  static const StackCostModel kModel = [] {
+    StackCostModel m;
+    m.rx_driver = 10;
+    m.tx_driver = 10;
+    m.rx_tcp = 20;
+    m.tx_tcp = 20;
+    m.rx_api = 10;
+    m.tx_api = 10;
+    m.connection_setup = 100;
+    m.connection_teardown = 100;
+    return m;
+  }();
+  return kModel;
+}
+
+}  // namespace tas

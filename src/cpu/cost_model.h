@@ -1,0 +1,94 @@
+// Per-stack CPU cost models, calibrated against the paper's measurements.
+//
+// Paper Table 1 (cycles per KV request, 8-core server, 32K connections):
+//
+//              Linux     IX      TAS
+//   Driver      730       50      90
+//   IP         1530      120       0
+//   TCP        3920     1050     810
+//   Sockets/IX 8000      760     620
+//   Other      1500        0       0
+//   App        1070      760     680
+//   Total     16750     2730    2570
+//
+// A "request" is one received request packet plus one transmitted response
+// packet plus the socket-layer receive and send operations, so the per-packet
+// and per-operation constants below are calibrated to sum to the table.
+//
+// The connection-scalability effect (paper Fig 4: at 64K connections IX loses
+// up to 60% of peak throughput, Linux 40%, TAS 7%) is modeled as extra TCP
+// cycles per packet from last-level-cache misses on per-connection state:
+//
+//   footprint   = connections * per_connection_state_bytes
+//   miss_prob   = max(0, 1 - effective_cache_bytes / footprint)
+//   extra       = state_lines_per_packet * miss_penalty_cycles * miss_prob
+//
+// TAS keeps 102 bytes of fast-path state per flow (Table 3), so its
+// footprint stays cache-resident at 64K connections while Linux (~2 KB
+// scattered state) and IX (~1 KB) thrash.
+#ifndef SRC_CPU_COST_MODEL_H_
+#define SRC_CPU_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace tas {
+
+struct CacheModel {
+  double per_connection_state_bytes = 0;
+  double effective_cache_bytes = 33.0 * 1024 * 1024;  // Paper server: 33 MB aggregate.
+  double state_lines_per_packet = 0;
+  double miss_penalty_cycles = 150;
+
+  // Extra cycles charged per data packet at the given connection count.
+  uint64_t ExtraCyclesPerPacket(uint64_t connections) const;
+};
+
+// Costs for one stack, in CPU cycles.
+struct StackCostModel {
+  // Per received data packet.
+  uint64_t rx_driver = 0;
+  uint64_t rx_ip = 0;
+  uint64_t rx_tcp = 0;
+  // Per transmitted data packet (including segmentation and header build).
+  uint64_t tx_driver = 0;
+  uint64_t tx_ip = 0;
+  uint64_t tx_tcp = 0;
+  // Per application receive operation (epoll wakeup + recv or equivalent).
+  uint64_t rx_api = 0;
+  // Per application send operation.
+  uint64_t tx_api = 0;
+  // Per request, unattributable glue (softirq scheduling, skb management...).
+  uint64_t other_per_request = 0;
+  // Per-byte copy cost (both directions), cycles per byte. Models memory
+  // copying dominating large-RPC cost (paper Fig 6 discussion).
+  double copy_cycles_per_byte = 0;
+  // Connection setup/teardown handling (slow path / kernel).
+  uint64_t connection_setup = 0;
+  uint64_t connection_teardown = 0;
+  // Multiplier on application cycles from sharing cores/caches with the
+  // stack (1.0 = no interference; Linux > 1 models cache/TLB pollution).
+  double app_interference_factor = 1.0;
+
+  CacheModel cache;
+
+  // Convenience: total stack cycles for a one-packet-in/one-packet-out
+  // request, excluding app cycles and cache effects.
+  uint64_t RequestCycles() const;
+};
+
+// Calibrated models. Each returns the same struct every call.
+const StackCostModel& LinuxCostModel();
+const StackCostModel& IxCostModel();
+// TAS fast-path packet costs plus libTAS POSIX sockets layer.
+const StackCostModel& TasSocketsCostModel();
+// TAS with the low-level context-queue API (paper "TAS LL").
+const StackCostModel& TasLowLevelCostModel();
+// mTCP: kernel-bypass with batching; costs between Linux and IX.
+const StackCostModel& MtcpCostModel();
+// Near-zero costs for protocol-only simulations (the congestion-control
+// experiments, Figs 11-13, where CPU time is not the quantity under test).
+const StackCostModel& MinimalCostModel();
+
+}  // namespace tas
+
+#endif  // SRC_CPU_COST_MODEL_H_

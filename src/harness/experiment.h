@@ -1,0 +1,114 @@
+// Experiment harness: wires simulated hosts (CPU cores + NIC + one of the
+// five stacks) onto a network topology, so each benchmark reads like the
+// paper's testbed setup: "one 24-core server with a 40G NIC, six 6-core
+// clients with 10G NICs, all on one switch".
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/engine_stack.h"
+#include "src/baseline/stack_iface.h"
+#include "src/libtas/tas_stack.h"
+#include "src/net/topology.h"
+#include "src/tas/service.h"
+
+namespace tas {
+
+enum class StackKind {
+  kTas,          // TAS with POSIX sockets ("TAS SO").
+  kTasLowLevel,  // TAS with the low-level API ("TAS LL").
+  kLinux,
+  kIx,
+  kMtcp,
+};
+
+const char* StackKindName(StackKind kind);
+
+struct HostSpec {
+  StackKind stack = StackKind::kLinux;
+  int app_cores = 1;
+  // TAS: maximum fast-path cores. mTCP: dedicated stack cores. Ignored by
+  // Linux/IX (stack shares app cores).
+  int stack_cores = 2;
+  double ghz = 2.1;
+  // Optional overrides; when unset the kind's calibrated defaults are used.
+  TasConfig tas;
+  bool tas_overridden = false;
+  EngineStackConfig engine;
+  bool engine_overridden = false;
+};
+
+// A host instantiated on the network: its application cores, its stack, and
+// (for TAS hosts) the TAS service process.
+class SimHost {
+ public:
+  SimHost(Simulator* sim, HostPort* port, const HostSpec& spec);
+
+  Stack* stack() { return stack_.get(); }
+  TasService* tas() { return tas_.get(); }            // Null for baselines.
+  EngineStack* engine() { return engine_; }           // Null for TAS hosts.
+  Core* app_core(size_t i) { return app_cores_[i].get(); }
+  size_t num_app_cores() const { return app_cores_.size(); }
+  std::vector<Core*> AppCorePtrs();
+  IpAddr ip() const { return ip_; }
+  const HostSpec& spec() const { return spec_; }
+
+  // Total cycles burned across app + stack cores, by module.
+  uint64_t TotalCycles(CpuModule module) const;
+  uint64_t TotalCycles() const;
+
+ private:
+  HostSpec spec_;
+  IpAddr ip_;
+  std::vector<std::unique_ptr<Core>> app_cores_;
+  std::unique_ptr<TasService> tas_;
+  std::unique_ptr<Stack> stack_;
+  EngineStack* engine_ = nullptr;  // Aliases stack_ when baseline.
+};
+
+// A full experiment: simulator + topology + hosts.
+class Experiment {
+ public:
+  Experiment() = default;
+
+  Simulator& sim() { return sim_; }
+  Network* net() { return net_.get(); }
+  SimHost& host(size_t i) { return *hosts_[i]; }
+  size_t num_hosts() const { return hosts_.size(); }
+
+  // Hosts around one switch. specs[i] uses links[i] (or links[0] if only one
+  // link config is given).
+  static std::unique_ptr<Experiment> Star(const std::vector<HostSpec>& specs,
+                                          const std::vector<LinkConfig>& links,
+                                          TimeNs switch_latency = 500);
+
+  // Two hosts, one link.
+  static std::unique_ptr<Experiment> PointToPoint(const HostSpec& a, const HostSpec& b,
+                                                  const LinkConfig& link);
+
+  // Hosts on a custom topology: `build` constructs the network on the
+  // experiment's simulator (e.g. MakeFatTree); host i of the network gets
+  // specs[i % specs.size()].
+  static std::unique_ptr<Experiment> Custom(
+      const std::function<std::unique_ptr<Network>(Simulator*)>& build,
+      const std::vector<HostSpec>& specs);
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+// Scale control: benches run reduced configurations by default on this
+// 1-CPU machine; TAS_SCALE=full runs closer to paper scale.
+bool FullScale();
+// Returns `full` when TAS_SCALE=full, otherwise `reduced`.
+size_t ScalePick(size_t reduced, size_t full);
+
+}  // namespace tas
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,81 @@
+// Aligned-column table printing for the paper-figure regenerators: every
+// bench binary prints the rows/series the paper reports through this.
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tas {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  // Variadic row: each cell is streamed to a string.
+  template <typename... Cells>
+  void AddRow(const Cells&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(os, headers_, widths);
+    std::string sep;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i] + 2, '-');
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) {
+      PrintRow(os, row, widths);
+    }
+  }
+
+ private:
+  template <typename T>
+  static std::string ToCell(const T& value) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(2) << value;
+    } else {
+      os << value;
+    }
+    return os.str();
+  }
+
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (for cells where the default
+// 2-digit formatting is wrong).
+inline std::string Fmt(double value, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace tas
+
+#endif  // SRC_HARNESS_TABLE_H_

@@ -1,0 +1,231 @@
+#include "src/libtas/tas_stack.h"
+
+#include <algorithm>
+
+namespace tas {
+
+TasStack::TasStack(TasService* service, std::vector<Core*> app_cores,
+                   const StackCostModel* api_costs)
+    : service_(service), costs_(api_costs) {
+  TAS_CHECK(!app_cores.empty());
+  contexts_.reserve(app_cores.size());
+  for (size_t i = 0; i < app_cores.size(); ++i) {
+    Context ctx;
+    ctx.queues = std::make_unique<AppContext>();
+    ctx.core = app_cores[i];
+    ctx.id = service_->RegisterContext(ctx.queues.get());
+    contexts_.push_back(std::move(ctx));
+  }
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    contexts_[i].queues->set_app_notify([this, i] { DrainEvents(i); });
+  }
+}
+
+TasStack::~TasStack() = default;
+
+TasStack::Conn* TasStack::GetConn(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const TasStack::Conn* TasStack::GetConn(ConnId id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void TasStack::AtCoreHorizon(Core* core, std::function<void()> fn) {
+  const TimeNs when = std::max(service_->sim()->Now(), core->busy_until());
+  service_->sim()->At(when, std::move(fn));
+}
+
+void TasStack::Listen(uint16_t port) {
+  // The listener's opaque carries the port; accepted flows are re-tagged
+  // with their connection id in DispatchEvent (libTAS owns `opaque`).
+  service_->Listen(port, port, contexts_[0].id);
+}
+
+ConnId TasStack::Connect(IpAddr dst_ip, uint16_t dst_port) {
+  const size_t ctx_index = next_context_rr_++ % contexts_.size();
+  // The flow id doubles as the connection id; the service tags fs.opaque
+  // with it so every event identifies the connection directly.
+  const FlowId flow = service_->Connect(dst_ip, dst_port, 0, contexts_[ctx_index].id);
+  conns_[flow] = Conn{flow, ctx_index, 0, false};
+  return flow;
+}
+
+size_t TasStack::Send(ConnId conn, const uint8_t* data, size_t len) {
+  Conn* c = GetConn(conn);
+  if (c == nullptr || c->closed) {
+    return 0;
+  }
+  Flow* flow = service_->GetFlow(c->flow);
+  if (flow == nullptr || flow->cstate == ConnState::kFreed) {
+    return 0;
+  }
+  Core* core = contexts_[c->context].core;
+  const uint32_t written = flow->AppWriteTx(data, static_cast<uint32_t>(len));
+  core->Charge(CpuModule::kSockets,
+               costs_->tx_api + static_cast<uint64_t>(costs_->copy_cycles_per_byte *
+                                                      static_cast<double>(written)));
+  if (written > 0) {
+    const FlowId flow_id = c->flow;
+    const size_t ctx_index = c->context;
+    AtCoreHorizon(core, [this, ctx_index, flow_id, written] {
+      contexts_[ctx_index].queues->PushCommand(
+          TxCommand{TxCommandType::kSend, flow_id, written});
+    });
+  }
+  return written;
+}
+
+size_t TasStack::Recv(ConnId conn, uint8_t* data, size_t len) {
+  Conn* c = GetConn(conn);
+  if (c == nullptr) {
+    return 0;
+  }
+  Flow* flow = service_->GetFlow(c->flow);
+  if (flow == nullptr) {
+    return 0;
+  }
+  Core* core = contexts_[c->context].core;
+  const uint32_t mss = flow->mss;
+  const bool was_closed = flow->RxFree() < mss;
+  const uint32_t read = flow->AppReadRx(data, static_cast<uint32_t>(len));
+  core->Charge(CpuModule::kSockets,
+               static_cast<uint64_t>(costs_->copy_cycles_per_byte * static_cast<double>(read)));
+  c->deliverable -= std::min<size_t>(c->deliverable, read);
+  if (was_closed && flow->RxFree() >= mss && flow->FastPathEligible()) {
+    const FlowId flow_id = c->flow;
+    const size_t ctx_index = c->context;
+    AtCoreHorizon(core, [this, ctx_index, flow_id] {
+      contexts_[ctx_index].queues->PushCommand(
+          TxCommand{TxCommandType::kWindowUpdate, flow_id, 0});
+    });
+  }
+  return read;
+}
+
+size_t TasStack::RecvAvailable(ConnId conn) const {
+  const Conn* c = GetConn(conn);
+  if (c == nullptr) {
+    return 0;
+  }
+  const Flow* flow = const_cast<TasService*>(service_)->GetFlow(c->flow);
+  return flow == nullptr ? 0 : flow->RxUsed();
+}
+
+size_t TasStack::SendSpace(ConnId conn) const {
+  const Conn* c = GetConn(conn);
+  if (c == nullptr) {
+    return 0;
+  }
+  const Flow* flow = const_cast<TasService*>(service_)->GetFlow(c->flow);
+  return flow == nullptr ? 0 : flow->fs.tx_size - flow->TxQueued();
+}
+
+void TasStack::Close(ConnId conn) {
+  Conn* c = GetConn(conn);
+  if (c == nullptr || c->closed) {
+    return;
+  }
+  c->closed = true;
+  contexts_[c->context].core->Charge(CpuModule::kSockets, 200);
+  service_->Close(c->flow);
+}
+
+void TasStack::ChargeApp(ConnId conn, uint64_t cycles) {
+  Conn* c = GetConn(conn);
+  const size_t ctx = c == nullptr ? 0 : c->context;
+  contexts_[ctx].core->Charge(
+      CpuModule::kApp,
+      static_cast<uint64_t>(static_cast<double>(cycles) * costs_->app_interference_factor));
+}
+
+void TasStack::DrainEvents(size_t context_index) {
+  Context& ctx = contexts_[context_index];
+  if (ctx.draining) {
+    return;
+  }
+  auto event = ctx.queues->rx().Pop();
+  if (!event) {
+    return;
+  }
+  ctx.draining = true;
+  // Each event delivery is one poll iteration on the app thread: epoll/recv
+  // in sockets mode, a direct queue read in low-level mode. Data events pay
+  // the full receive-API cost; bookkeeping events (tx-done, conn control)
+  // are a cheap queue read.
+  const uint64_t cycles = event->type == AppEventType::kRxData ? costs_->rx_api : 60;
+  const TimeNs done = ctx.core->Charge(CpuModule::kSockets, cycles);
+  service_->sim()->At(done, [this, context_index, e = *event] {
+    contexts_[context_index].draining = false;
+    DispatchEvent(context_index, e);
+    DrainEvents(context_index);
+  });
+}
+
+void TasStack::DispatchEvent(size_t /*context_index*/, const AppEvent& event) {
+  switch (event.type) {
+    case AppEventType::kRxData: {
+      Conn* c = GetConn(event.opaque);
+      if (c != nullptr && handler_ != nullptr) {
+        c->deliverable += event.bytes;
+        handler_->OnData(event.opaque, event.bytes);
+      }
+      return;
+    }
+    case AppEventType::kTxDone: {
+      if (GetConn(event.opaque) != nullptr && handler_ != nullptr) {
+        handler_->OnSendSpace(event.opaque, event.bytes);
+      }
+      return;
+    }
+    case AppEventType::kConnOpened: {
+      if (handler_ != nullptr) {
+        handler_->OnConnected(event.opaque, true);
+      }
+      return;
+    }
+    case AppEventType::kConnOpenFailed: {
+      if (handler_ != nullptr) {
+        handler_->OnConnected(event.opaque, false);
+      }
+      conns_.erase(event.opaque);
+      return;
+    }
+    case AppEventType::kConnClosed: {
+      Conn* c = GetConn(event.opaque);
+      if (c == nullptr) {
+        return;
+      }
+      if (c->closed) {
+        if (handler_ != nullptr) {
+          handler_->OnClosed(event.opaque);
+        }
+        conns_.erase(event.opaque);
+      } else if (handler_ != nullptr) {
+        handler_->OnRemoteClosed(event.opaque);
+      }
+      return;
+    }
+    case AppEventType::kAcceptable: {
+      // event.opaque = listening port, event.bytes = flow id.
+      const FlowId flow_id = event.bytes;
+      Flow* flow = service_->GetFlow(flow_id);
+      if (flow == nullptr || flow->cstate == ConnState::kFreed) {
+        return;
+      }
+      const size_t ctx_index = next_context_rr_++ % contexts_.size();
+      conns_[flow_id] = Conn{flow_id, ctx_index, 0, false};
+      // Route future events to the context (and app core) owning this conn;
+      // the event identity (fs.opaque == flow id) never changes.
+      flow->fs.context = contexts_[ctx_index].id;
+      if (handler_ != nullptr) {
+        handler_->OnAccepted(flow_id, static_cast<uint16_t>(event.opaque));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace tas

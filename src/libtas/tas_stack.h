@@ -1,0 +1,80 @@
+// libTAS: the untrusted per-application user-space stack (paper §3.3).
+//
+// Implements the Stack interface on top of TAS context queues and per-flow
+// payload buffers. Two flavours, selected by the API cost model:
+//  * POSIX sockets emulation ("TAS SO"): the default, applications remain
+//    unmodified; costs from TasSocketsCostModel().
+//  * low-level context-queue API ("TAS LL"): events pass straight from the
+//    context RX queue to the application; costs from TasLowLevelCostModel().
+//
+// One context is allocated per application core ("typically stacks allocate
+// one context per application thread for scalability", §3.3); connections
+// are bound to the context — and therefore the application core — that
+// created or accepted them.
+#ifndef SRC_LIBTAS_TAS_STACK_H_
+#define SRC_LIBTAS_TAS_STACK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/stack_iface.h"
+#include "src/tas/service.h"
+
+namespace tas {
+
+class TasStack : public Stack {
+ public:
+  // `app_cores` are the CPU cores application callbacks execute on (owned by
+  // the caller). `api_costs` selects sockets vs low-level pricing.
+  TasStack(TasService* service, std::vector<Core*> app_cores,
+           const StackCostModel* api_costs = &TasSocketsCostModel());
+  ~TasStack() override;
+
+  void SetHandler(AppHandler* handler) override { handler_ = handler; }
+  void Listen(uint16_t port) override;
+  ConnId Connect(IpAddr dst_ip, uint16_t dst_port) override;
+  size_t Send(ConnId conn, const uint8_t* data, size_t len) override;
+  size_t Recv(ConnId conn, uint8_t* data, size_t len) override;
+  size_t RecvAvailable(ConnId conn) const override;
+  size_t SendSpace(ConnId conn) const override;
+  void Close(ConnId conn) override;
+  void ChargeApp(ConnId conn, uint64_t cycles) override;
+  IpAddr local_ip() const override { return service_->local_ip(); }
+
+  TasService* service() { return service_; }
+  size_t num_contexts() const { return contexts_.size(); }
+
+ private:
+  struct Conn {
+    FlowId flow = kInvalidFlow;
+    size_t context = 0;       // Index into contexts_ == app core index.
+    size_t deliverable = 0;   // Bytes announced via kRxData, not yet Recv'd.
+    bool closed = false;
+  };
+
+  struct Context {
+    std::unique_ptr<AppContext> queues;
+    uint16_t id = 0;       // TAS-side context id.
+    Core* core = nullptr;  // App core this context's thread runs on.
+    bool draining = false;
+  };
+
+  void DrainEvents(size_t context_index);
+  void DispatchEvent(size_t context_index, const AppEvent& event);
+  Conn* GetConn(ConnId id);
+  const Conn* GetConn(ConnId id) const;
+  // Schedules `fn` at the app core's current work horizon (post-charge).
+  void AtCoreHorizon(Core* core, std::function<void()> fn);
+
+  TasService* service_;
+  const StackCostModel* costs_;
+  AppHandler* handler_ = nullptr;
+  std::vector<Context> contexts_;
+  std::unordered_map<ConnId, Conn> conns_;  // Keyed by flow id.
+  size_t next_context_rr_ = 0;  // Round-robin for accepted/united conns.
+};
+
+}  // namespace tas
+
+#endif  // SRC_LIBTAS_TAS_STACK_H_

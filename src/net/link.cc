@@ -1,0 +1,81 @@
+#include "src/net/link.h"
+
+#include <atomic>
+
+namespace tas {
+namespace {
+
+// Deterministic per-link seeds: simulations must be reproducible run-to-run.
+std::atomic<uint64_t> g_link_counter{1};
+
+}  // namespace
+
+Link::Link(Simulator* sim, const LinkConfig& config)
+    : sim_(sim), config_(config), rng_(0xC0FFEEull ^ (g_link_counter.fetch_add(1) * 0x9E37ull)) {
+  TAS_CHECK(config.gbps > 0);
+}
+
+void Link::Attach(int side, NetDevice* device) {
+  TAS_CHECK(side == 0 || side == 1);
+  // The device at side s receives packets sent from side 1-s.
+  dir_[1 - side].dst = device;
+}
+
+void Link::Send(int from_side, PacketPtr pkt) {
+  TAS_CHECK(from_side == 0 || from_side == 1);
+  Direction& d = dir_[from_side];
+
+  if (config_.drop_rate > 0 && rng_.NextBool(config_.drop_rate)) {
+    d.stats.drops_induced++;
+    return;
+  }
+  d.stats.queue_pkts.Add(static_cast<double>(d.queue.size()));
+  if (d.queue.size() >= config_.queue_limit_pkts) {
+    d.stats.drops_overflow++;
+    return;
+  }
+  if (config_.ecn_threshold_pkts > 0 && d.queue.size() >= config_.ecn_threshold_pkts &&
+      pkt->ip.ecn != Ecn::kNotEct) {
+    pkt->ip.ecn = Ecn::kCe;
+    d.stats.ecn_marks++;
+  }
+  if (config_.validate_wire_format) {
+    auto parsed = Parse(Serialize(*pkt));
+    TAS_CHECK(parsed.has_value()) << "packet failed wire round-trip: " << pkt->Describe();
+    parsed->enqueued_at = pkt->enqueued_at;
+    parsed->ingress_port = pkt->ingress_port;
+    pkt = std::make_unique<Packet>(std::move(*parsed));
+  }
+  d.queue.push_back(std::move(pkt));
+  if (!d.transmitting) {
+    StartTransmit(from_side);
+  }
+}
+
+void Link::StartTransmit(int dir_index) {
+  Direction& d = dir_[dir_index];
+  if (d.queue.empty()) {
+    d.transmitting = false;
+    return;
+  }
+  d.transmitting = true;
+  PacketPtr pkt = std::move(d.queue.front());
+  d.queue.pop_front();
+  const TimeNs serialize = TransmitTimeNs(pkt->WireBytes(), config_.gbps);
+  d.stats.tx_packets++;
+  d.stats.tx_bytes += pkt->WireBytes();
+
+  // Deliver after serialization + propagation; free the transmitter after
+  // serialization only, so back-to-back packets pipeline onto the wire.
+  auto* raw = pkt.release();
+  sim_->After(serialize + config_.propagation_delay, [this, dir_index, raw] {
+    PacketPtr p(raw);
+    Direction& dd = dir_[dir_index];
+    if (dd.dst != nullptr) {
+      dd.dst->Receive(std::move(p));
+    }
+  });
+  sim_->After(serialize, [this, dir_index] { StartTransmit(dir_index); });
+}
+
+}  // namespace tas

@@ -1,0 +1,91 @@
+// Full-duplex point-to-point link with per-direction FIFO queues, DCTCP-style
+// ECN marking at a configurable instantaneous queue threshold, drop-tail
+// overflow, and optional induced random loss (the packet-loss experiment,
+// paper Fig 7).
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <deque>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace tas {
+
+// Anything that can accept a delivered packet.
+class NetDevice {
+ public:
+  virtual ~NetDevice() = default;
+  virtual void Receive(PacketPtr pkt) = 0;
+};
+
+struct LinkConfig {
+  double gbps = 10.0;
+  TimeNs propagation_delay = Us(1);
+  size_t queue_limit_pkts = 1024;
+  // Mark CE on ECT packets when the queue holds >= this many packets at
+  // enqueue. 0 disables marking. The paper's switch marks at 65 packets.
+  size_t ecn_threshold_pkts = 0;
+  // Probability of dropping each packet (induced loss, Fig 7).
+  double drop_rate = 0.0;
+  // Debug/validation mode: round-trip every packet through the byte-level
+  // wire encoding (Serialize -> Parse, including checksums) and deliver the
+  // parsed copy. Slow; catches any header field the stacks forget to set.
+  bool validate_wire_format = false;
+};
+
+struct LinkStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t drops_overflow = 0;
+  uint64_t drops_induced = 0;
+  uint64_t ecn_marks = 0;
+  RunningStats queue_pkts;  // Queue occupancy sampled at each enqueue.
+};
+
+class Link {
+ public:
+  Link(Simulator* sim, const LinkConfig& config);
+
+  // side is 0 or 1. A packet sent from side s is delivered to the device
+  // attached at side 1-s.
+  void Attach(int side, NetDevice* device);
+
+  void Send(int from_side, PacketPtr pkt);
+
+  size_t QueueLen(int from_side) const { return dir_[from_side].queue.size(); }
+  const LinkStats& stats(int from_side) const { return dir_[from_side].stats; }
+  const LinkConfig& config() const { return config_; }
+  void set_drop_rate(double rate) { config_.drop_rate = rate; }
+
+ private:
+  struct Direction {
+    std::deque<PacketPtr> queue;
+    bool transmitting = false;
+    NetDevice* dst = nullptr;
+    LinkStats stats;
+  };
+
+  void StartTransmit(int dir_index);
+
+  Simulator* sim_;
+  LinkConfig config_;
+  Direction dir_[2];
+  Rng rng_;
+};
+
+// A (link, side) pair: the plug a NIC or switch port transmits into.
+struct LinkEnd {
+  Link* link = nullptr;
+  int side = 0;
+
+  void Send(PacketPtr pkt) const { link->Send(side, std::move(pkt)); }
+  void Attach(NetDevice* device) const { link->Attach(side, device); }
+  bool valid() const { return link != nullptr; }
+};
+
+}  // namespace tas
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,38 @@
+#include "src/net/pcap.h"
+
+namespace tas {
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  // Classic pcap global header: magic (us precision), v2.4, LINKTYPE_ETHERNET.
+  Put32(0xA1B2C3D4);
+  Put16(2);
+  Put16(4);
+  Put32(0);        // thiszone.
+  Put32(0);        // sigfigs.
+  Put32(65535);    // snaplen.
+  Put32(1);        // LINKTYPE_ETHERNET.
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::Put32(uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), 4);
+}
+
+void PcapWriter::Put16(uint16_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), 2);
+}
+
+void PcapWriter::Record(TimeNs now, const Packet& pkt) {
+  const std::vector<uint8_t> bytes = Serialize(pkt);
+  Put32(static_cast<uint32_t>(now / kNsPerSec));
+  Put32(static_cast<uint32_t>((now % kNsPerSec) / kNsPerUs));
+  Put32(static_cast<uint32_t>(bytes.size()));
+  Put32(static_cast<uint32_t>(bytes.size()));
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  ++packets_written_;
+}
+
+}  // namespace tas

@@ -1,0 +1,40 @@
+// Minimal PCAP (libpcap classic format) trace writer: attach one to a link
+// direction or call Record() from any vantage point, then open the file in
+// Wireshark/tcpdump. Packets are serialized through the real wire encoder,
+// so traces show valid checksums, options, and payload.
+#ifndef SRC_NET_PCAP_H_
+#define SRC_NET_PCAP_H_
+
+#include <fstream>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+class PcapWriter {
+ public:
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return out_.good(); }
+  uint64_t packets_written() const { return packets_written_; }
+
+  // Serializes `pkt` and appends a capture record stamped `now`.
+  void Record(TimeNs now, const Packet& pkt);
+
+ private:
+  void Put32(uint32_t v);
+  void Put16(uint16_t v);
+
+  std::ofstream out_;
+  uint64_t packets_written_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_NET_PCAP_H_

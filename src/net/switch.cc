@@ -1,0 +1,55 @@
+#include "src/net/switch.h"
+
+namespace tas {
+
+// Adapter: receives packets from one link and hands them to the switch.
+class Switch::Port : public NetDevice {
+ public:
+  Port(Switch* parent, LinkEnd end) : parent_(parent), end_(end) { end_.Attach(this); }
+
+  void Receive(PacketPtr pkt) override { parent_->HandlePacket(std::move(pkt)); }
+  void Send(PacketPtr pkt) { end_.Send(std::move(pkt)); }
+
+ private:
+  Switch* parent_;
+  LinkEnd end_;
+};
+
+Switch::Switch(Simulator* sim, std::string name, TimeNs forwarding_latency)
+    : sim_(sim), name_(std::move(name)), forwarding_latency_(forwarding_latency) {}
+
+Switch::~Switch() = default;
+
+int Switch::AddPort(LinkEnd end) {
+  ports_.push_back(std::make_unique<Port>(this, end));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Switch::AddRoute(IpAddr dst, int port) {
+  TAS_CHECK(port >= 0 && static_cast<size_t>(port) < ports_.size());
+  routes_[dst].push_back(port);
+}
+
+void Switch::HandlePacket(PacketPtr pkt) {
+  auto it = routes_.find(pkt->ip.dst);
+  if (it == routes_.end() || it->second.empty()) {
+    ++no_route_drops_;
+    return;
+  }
+  const std::vector<int>& candidates = it->second;
+  int port;
+  if (candidates.size() == 1) {
+    port = candidates[0];
+  } else {
+    const uint32_t h =
+        FlowHash(pkt->ip.src, pkt->tcp.src_port, pkt->ip.dst, pkt->tcp.dst_port);
+    port = candidates[h % candidates.size()];
+  }
+  ++forwarded_;
+  auto* raw = pkt.release();
+  sim_->After(forwarding_latency_, [this, port, raw] {
+    ports_[static_cast<size_t>(port)]->Send(PacketPtr(raw));
+  });
+}
+
+}  // namespace tas

@@ -1,0 +1,56 @@
+// Output-queued Ethernet switch with destination-IP forwarding and ECMP.
+//
+// Queueing, ECN marking and drops happen in the attached Links' egress
+// queues (the standard output-queued switch model); the switch itself adds a
+// fixed forwarding latency. ECMP picks among equal-cost next hops by flow
+// hash, which keeps a connection on a stable path — the in-order delivery
+// assumption TAS relies on (paper §3.1).
+#ifndef SRC_NET_SWITCH_H_
+#define SRC_NET_SWITCH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace tas {
+
+class Switch {
+ public:
+  Switch(Simulator* sim, std::string name, TimeNs forwarding_latency = 500);
+  ~Switch();  // Out of line: Port is an implementation detail.
+
+  const std::string& name() const { return name_; }
+
+  // Connects a new port to the given link end; returns the port index.
+  int AddPort(LinkEnd end);
+  size_t num_ports() const { return ports_.size(); }
+
+  // Declares that `dst` is reachable via `port` (equal cost with any ports
+  // already registered for `dst`).
+  void AddRoute(IpAddr dst, int port);
+  void ClearRoutes() { routes_.clear(); }
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  class Port;
+
+  void HandlePacket(PacketPtr pkt);
+
+  Simulator* sim_;
+  std::string name_;
+  TimeNs forwarding_latency_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<IpAddr, std::vector<int>> routes_;
+  uint64_t forwarded_ = 0;
+  uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_NET_SWITCH_H_

@@ -1,0 +1,76 @@
+#include "src/nic/nic.h"
+
+namespace tas {
+
+SimNic::SimNic(Simulator* sim, HostPort* port, const NicConfig& config)
+    : tx_end_(port->end), ip_(port->ip), mac_(port->mac), config_(config) {
+  (void)sim;
+  TAS_CHECK(config.num_queues >= 1);
+  TAS_CHECK(config.rss_table_entries >= 1);
+  for (int i = 0; i < config.num_queues; ++i) {
+    rings_.emplace_back(std::make_unique<Ring>());
+  }
+  redirection_.resize(config.rss_table_entries);
+  SetActiveQueues(config.num_queues);
+  port->end.Attach(this);
+}
+
+int SimNic::RedirectionEntryFor(const Packet& pkt) const {
+  const uint32_t hash =
+      config_.symmetric_rss
+          ? SymmetricFlowHash(pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port)
+          : FlowHash(pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
+  return static_cast<int>(hash % redirection_.size());
+}
+
+int SimNic::SelectQueue(const Packet& pkt) const {
+  return redirection_[static_cast<size_t>(RedirectionEntryFor(pkt))];
+}
+
+void SimNic::Receive(PacketPtr pkt) {
+  ++rx_packets_;
+  Ring& ring = *rings_[static_cast<size_t>(SelectQueue(*pkt))];
+  if (ring.pkts.size() >= config_.ring_entries) {
+    ++rx_drops_;
+    return;
+  }
+  const bool was_empty = ring.pkts.empty();
+  ring.pkts.push_back(std::move(pkt));
+  if (was_empty && ring.notify) {
+    ring.notify();
+  }
+}
+
+void SimNic::Transmit(PacketPtr pkt) {
+  ++tx_packets_;
+  tx_end_.Send(std::move(pkt));
+}
+
+PacketPtr SimNic::PopRx(int queue) {
+  Ring& ring = *rings_[static_cast<size_t>(queue)];
+  if (ring.pkts.empty()) {
+    return nullptr;
+  }
+  PacketPtr pkt = std::move(ring.pkts.front());
+  ring.pkts.pop_front();
+  return pkt;
+}
+
+void SimNic::SetRxNotify(int queue, std::function<void()> fn) {
+  rings_[static_cast<size_t>(queue)]->notify = std::move(fn);
+}
+
+void SimNic::SetRedirectionEntry(size_t entry, int queue) {
+  TAS_CHECK(entry < redirection_.size());
+  TAS_CHECK(queue >= 0 && queue < num_queues());
+  redirection_[entry] = queue;
+}
+
+void SimNic::SetActiveQueues(int active_queues) {
+  TAS_CHECK(active_queues >= 1 && active_queues <= num_queues());
+  for (size_t i = 0; i < redirection_.size(); ++i) {
+    redirection_[i] = static_cast<int>(i % static_cast<size_t>(active_queues));
+  }
+}
+
+}  // namespace tas

@@ -1,0 +1,85 @@
+// Simulated multi-queue NIC with receive-side scaling.
+//
+// Models what TAS needs from an XL710-class adapter (paper §3.4, §4):
+// multiple RX descriptor rings, an RSS redirection table steering flows to
+// rings by hash, drop-on-full rings, and an eventfd-like notification that
+// wakes a blocked polling core when a packet lands on an empty ring. The
+// slow path rewrites the redirection table during core scale up/down.
+#ifndef SRC_NIC_NIC_H_
+#define SRC_NIC_NIC_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/topology.h"
+
+namespace tas {
+
+struct NicConfig {
+  int num_queues = 1;
+  size_t ring_entries = 1024;  // Per-RX-queue capacity.
+  // RSS redirection table size (XL710 uses 512, 82599 uses 128).
+  size_t rss_table_entries = 128;
+  // Use the symmetric hash so both directions of a flow hit one queue.
+  bool symmetric_rss = true;
+};
+
+class SimNic : public NetDevice {
+ public:
+  // Attaches to the host port's link end; all received frames flow into the
+  // RSS-selected ring.
+  SimNic(Simulator* sim, HostPort* port, const NicConfig& config);
+
+  IpAddr ip() const { return ip_; }
+  MacAddr mac() const { return mac_; }
+  int num_queues() const { return static_cast<int>(rings_.size()); }
+
+  // --- Wire side -----------------------------------------------------------
+  void Receive(PacketPtr pkt) override;
+  void Transmit(PacketPtr pkt);
+
+  // --- Host side -----------------------------------------------------------
+  PacketPtr PopRx(int queue);
+  size_t RxQueueLen(int queue) const { return rings_[queue]->pkts.size(); }
+  bool RxEmpty(int queue) const { return rings_[queue]->pkts.empty(); }
+
+  // Notification fired when a packet is enqueued while the ring was empty
+  // (models the eventfd wakeup for blocked fast-path cores).
+  void SetRxNotify(int queue, std::function<void()> fn);
+
+  // --- RSS control (trusted control plane) ----------------------------------
+  void SetRedirectionEntry(size_t entry, int queue);
+  // Spreads all table entries round-robin over queues [0, active_queues).
+  void SetActiveQueues(int active_queues);
+  int RedirectionEntryFor(const Packet& pkt) const;
+  int RedirectionEntryQueue(int entry) const { return redirection_[static_cast<size_t>(entry)]; }
+
+  uint64_t rx_drops() const { return rx_drops_; }
+  uint64_t rx_packets() const { return rx_packets_; }
+  uint64_t tx_packets() const { return tx_packets_; }
+
+ private:
+  struct Ring {
+    std::deque<PacketPtr> pkts;
+    std::function<void()> notify;
+  };
+
+  int SelectQueue(const Packet& pkt) const;
+
+  LinkEnd tx_end_;
+  IpAddr ip_;
+  MacAddr mac_;
+  NicConfig config_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<int> redirection_;  // Entry -> queue.
+  uint64_t rx_drops_ = 0;
+  uint64_t rx_packets_ = 0;
+  uint64_t tx_packets_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_NIC_NIC_H_

@@ -1,0 +1,30 @@
+#include "src/shm/context_queue.h"
+
+namespace tas {
+
+AppContext::AppContext(size_t queue_entries) : rx_(queue_entries), tx_(queue_entries) {}
+
+bool AppContext::PushEvent(const AppEvent& event) {
+  const bool was_empty = rx_.Empty();
+  if (!rx_.Push(event)) {
+    ++dropped_events_;
+    return false;
+  }
+  if (was_empty && app_notify_) {
+    app_notify_();
+  }
+  return true;
+}
+
+bool AppContext::PushCommand(const TxCommand& command) {
+  const bool was_empty = tx_.Empty();
+  if (!tx_.Push(command)) {
+    return false;
+  }
+  if (was_empty && fastpath_notify_) {
+    fastpath_notify_();
+  }
+  return true;
+}
+
+}  // namespace tas

@@ -1,0 +1,92 @@
+// Shared-memory context queues connecting libTAS, the fast path, and the
+// slow path (paper §3, Figures 1-3).
+//
+// A context is the unit an application thread polls: it owns one RX queue
+// (fast path -> app: payload-arrival, tx-done, and connection notifications)
+// and one TX queue (app -> fast path: send commands). Connection control
+// commands travel on a separate slow-path queue pair. All queues are
+// fixed-size SPSC rings.
+#ifndef SRC_SHM_CONTEXT_QUEUE_H_
+#define SRC_SHM_CONTEXT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/spsc_queue.h"
+
+namespace tas {
+
+// Fast path -> application notifications (the "context RX queue").
+enum class AppEventType : uint8_t {
+  // `bytes` of new in-order payload are available in the flow's RX buffer.
+  kRxData,
+  // `bytes` of previously sent payload were acknowledged; TX buffer space
+  // was reclaimed (paper: "transmit payload buffer space reclamation").
+  kTxDone,
+  // Outgoing connection is established (slow path completed the handshake).
+  kConnOpened,
+  // Outgoing connection attempt failed.
+  kConnOpenFailed,
+  // A remote close / reset terminated the connection.
+  kConnClosed,
+  // An incoming connection landed on a listener (slow path notification).
+  kAcceptable,
+};
+
+struct AppEvent {
+  AppEventType type = AppEventType::kRxData;
+  // Application-defined flow identifier (the `opaque` field of Table 3);
+  // for kAcceptable it carries the listener's opaque value.
+  uint64_t opaque = 0;
+  uint32_t bytes = 0;
+};
+
+// Application -> fast path commands (the "context TX queue").
+enum class TxCommandType : uint8_t {
+  // `bytes` of new payload were appended to the flow's TX buffer.
+  kSend,
+  // The app drained its RX buffer after the advertised window had collapsed;
+  // the fast path should emit a window-update ACK.
+  kWindowUpdate,
+};
+
+struct TxCommand {
+  TxCommandType type = TxCommandType::kSend;
+  uint64_t flow_id = 0;
+  uint32_t bytes = 0;
+};
+
+// One application context: the queue pair an app thread polls, plus wakeup
+// hooks (eventfd-like) in both directions.
+class AppContext {
+ public:
+  explicit AppContext(size_t queue_entries = 4096);
+
+  SpscQueue<AppEvent>& rx() { return rx_; }
+  SpscQueue<TxCommand>& tx() { return tx_; }
+
+  // Invoked when an event is pushed to an empty RX queue (wakes the app).
+  void set_app_notify(std::function<void()> fn) { app_notify_ = std::move(fn); }
+  // Invoked when a command is pushed to an empty TX queue (wakes a fast
+  // path thread; paper: "wakes a waiting fast path thread").
+  void set_fastpath_notify(std::function<void()> fn) { fastpath_notify_ = std::move(fn); }
+
+  // Pushes an event; returns false if the queue is full (the fast path then
+  // defers notification until the app drains, paper §3.1).
+  bool PushEvent(const AppEvent& event);
+  bool PushCommand(const TxCommand& command);
+
+  uint64_t dropped_events() const { return dropped_events_; }
+
+ private:
+  SpscQueue<AppEvent> rx_;
+  SpscQueue<TxCommand> tx_;
+  std::function<void()> app_notify_;
+  std::function<void()> fastpath_notify_;
+  uint64_t dropped_events_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_SHM_CONTEXT_QUEUE_H_

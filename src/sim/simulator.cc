@@ -1,0 +1,84 @@
+#include "src/sim/simulator.h"
+
+namespace tas {
+
+EventHandle Simulator::At(TimeNs when, std::function<void()> fn) {
+  TAS_CHECK(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+uint64_t Simulator::RunUntil(TimeNs until) {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.when > until) {
+      break;
+    }
+    // Move the event out before popping so the callback can schedule more.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    now_ = ev.when;
+    if (!*ev.cancelled) {
+      *ev.cancelled = true;  // Fired: handles must report not-pending.
+      ev.fn();
+      ++executed;
+      ++events_executed_;
+    }
+  }
+  if (now_ < until && !stopped_) {
+    now_ = until;
+  }
+  return executed;
+}
+
+uint64_t Simulator::Run() {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    if (!*ev.cancelled) {
+      *ev.cancelled = true;  // Fired: handles must report not-pending.
+      ev.fn();
+      ++executed;
+      ++events_executed_;
+    }
+  }
+  return executed;
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, TimeNs period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  TAS_CHECK(period > 0);
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  next_ = sim_->After(period_, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  running_ = false;
+  next_.Cancel();
+}
+
+void PeriodicTask::Fire() {
+  if (!running_) {
+    return;
+  }
+  fn_();
+  if (running_) {
+    next_ = sim_->After(period_, [this] { Fire(); });
+  }
+}
+
+}  // namespace tas

@@ -1,0 +1,117 @@
+// Discrete-event simulation core.
+//
+// The paper evaluates TAS on a physical cluster plus ns-3 simulations; here
+// every experiment runs on this event simulator. Events are (time, sequence,
+// callback) triples in a binary heap; ties break by insertion order so runs
+// are fully deterministic.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True while the event is still pending (not fired, not cancelled).
+  bool valid() const { return cancel_ != nullptr && !*cancel_; }
+  // Cancels the event if it has not fired yet.
+  void Cancel() {
+    if (cancel_ != nullptr) {
+      *cancel_ = true;
+    }
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancel) : cancel_(std::move(cancel)) {}
+  std::shared_ptr<bool> cancel_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= Now()).
+  EventHandle At(TimeNs when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` after Now().
+  EventHandle After(TimeNs delay, std::function<void()> fn) { return At(now_ + delay, std::move(fn)); }
+
+  // Runs events until the queue empties or `until` is reached (whichever is
+  // first). Returns the number of events executed.
+  uint64_t RunUntil(TimeNs until);
+
+  // Runs until the event queue drains completely.
+  uint64_t Run();
+
+  // Stops the current Run/RunUntil after the in-flight event completes.
+  void Stop() { stopped_ = true; }
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+// Repeats a callback at a fixed period until cancelled. Used for control
+// loops (slow-path congestion control every tau, utilization monitoring).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, TimeNs period, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  void set_period(TimeNs period) { period_ = period; }
+
+ private:
+  void Fire();
+
+  Simulator* sim_;
+  TimeNs period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventHandle next_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,378 @@
+#include "src/tas/fast_path.h"
+
+#include <algorithm>
+
+#include "src/tas/slow_path.h"
+#include "src/tcp/seq.h"
+
+namespace tas {
+namespace {
+
+uint32_t NowUs(Simulator* sim) { return static_cast<uint32_t>(sim->Now() / kNsPerUs); }
+
+}  // namespace
+
+FastPathCore::FastPathCore(TasService* service, Core* cpu, int index)
+    : service_(service), cpu_(cpu), index_(index) {}
+
+void FastPathCore::EnqueueFlowTx(FlowId flow_id) {
+  work_.push_back(WorkItem{WorkItem::Type::kFlowTx, flow_id});
+  MaybeRun();
+}
+
+void FastPathCore::EnqueueWindowUpdate(FlowId flow_id) {
+  work_.push_back(WorkItem{WorkItem::Type::kWindowUpdate, flow_id});
+  MaybeRun();
+}
+
+void FastPathCore::NotifyRx() { MaybeRun(); }
+
+bool FastPathCore::HasWork() const {
+  return !service_->nic()->RxEmpty(index_) || !work_.empty();
+}
+
+void FastPathCore::MaybeRun() {
+  if (busy_ || !HasWork()) {
+    return;
+  }
+  block_timer_.Cancel();
+  if (blocked_) {
+    // Blocked cores are woken via kernel notification (eventfd): pay the
+    // wake latency before the polling loop resumes (paper §3.4).
+    blocked_ = false;
+    busy_ = true;
+    service_->sim()->After(service_->config().wake_latency, [this] {
+      busy_ = false;
+      MaybeRun();
+    });
+    return;
+  }
+  RunOne();
+}
+
+void FastPathCore::RunOne() {
+  Simulator* sim = service_->sim();
+  const StackCostModel& costs = *service_->config().costs;
+
+  // NIC RX has priority; otherwise take queued TX/command work.
+  if (!service_->nic()->RxEmpty(index_)) {
+    PacketPtr pkt = service_->nic()->PopRx(index_);
+    const uint64_t tcp_cycles =
+        costs.rx_tcp + service_->ExtraCacheCyclesPerPacket() +
+        static_cast<uint64_t>(costs.copy_cycles_per_byte *
+                              static_cast<double>(pkt->payload.size()));
+    cpu_->Charge(CpuModule::kDriver, costs.rx_driver);
+    const TimeNs done = cpu_->Charge(CpuModule::kTcp, tcp_cycles);
+    busy_ = true;
+    auto* raw = pkt.release();
+    sim->At(done, [this, raw] {
+      busy_ = false;
+      ProcessPacket(PacketPtr(raw));
+      MaybeRun();
+    });
+    return;
+  }
+
+  if (!work_.empty()) {
+    const WorkItem item = work_.front();
+    work_.pop_front();
+    uint64_t tcp_cycles = 0;
+    if (item.type == WorkItem::Type::kFlowTx) {
+      Flow* flow = service_->flow_by_id(item.flow);
+      uint64_t len = 0;
+      if (flow != nullptr) {
+        len = std::min<uint64_t>(flow->TxAvailable(), flow->mss);
+      }
+      tcp_cycles = costs.tx_tcp + service_->ExtraCacheCyclesPerPacket() +
+                   static_cast<uint64_t>(costs.copy_cycles_per_byte * static_cast<double>(len));
+      cpu_->Charge(CpuModule::kDriver, costs.tx_driver);
+    } else {
+      tcp_cycles = 120;  // Pure window-update ACK.
+    }
+    const TimeNs done = cpu_->Charge(CpuModule::kTcp, tcp_cycles);
+    busy_ = true;
+    sim->At(done, [this, item] {
+      busy_ = false;
+      if (item.type == WorkItem::Type::kFlowTx) {
+        ProcessFlowTx(item.flow);
+      } else {
+        SendWindowUpdate(item.flow);
+      }
+      MaybeRun();
+    });
+    return;
+  }
+
+  // No work: arm the blocking timer.
+  idle_since_ = sim->Now();
+  if (service_->config().dynamic_cores) {
+    block_timer_.Cancel();
+    block_timer_ = sim->After(service_->config().block_timeout, [this] {
+      if (!busy_ && !HasWork()) {
+        blocked_ = true;
+      }
+    });
+  }
+}
+
+void FastPathCore::ProcessPacket(PacketPtr pkt) {
+  const FlowKey key{pkt->tcp.dst_port, pkt->ip.src, pkt->tcp.src_port};
+  const FlowId id = service_->LookupFlowId(key);
+  Flow* flow = id == kInvalidFlow ? nullptr : service_->flow_by_id(id);
+
+  constexpr uint8_t kExceptionFlags = TcpFlags::kSyn | TcpFlags::kFin | TcpFlags::kRst;
+  if (flow == nullptr || (pkt->tcp.flags & kExceptionFlags) != 0 ||
+      !flow->FastPathEligible()) {
+    service_->mutable_stats().exceptions++;
+    service_->slow_path()->EnqueueException(std::move(pkt));
+    return;
+  }
+
+  service_->mutable_stats().fastpath_rx_packets++;
+  if (service_->CoreForFlow(*flow) != index_) {
+    service_->mutable_stats().cross_core_packets++;
+  }
+  FastPathRx(id, *flow, *pkt);
+}
+
+void FastPathCore::FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  if (pkt.tcp.has_timestamps) {
+    flow.ts_echo = pkt.tcp.ts_val;
+  }
+  const bool had_payload = !pkt.payload.empty();
+  if (had_payload) {
+    HandlePayload(flow_id, flow, pkt);
+  }
+  if (pkt.tcp.ack_flag()) {
+    HandleAck(flow_id, flow, pkt);
+  }
+  if (had_payload) {
+    // Fast path ACKs every received data packet (paper §3.1: important for
+    // security, ECN feedback, and RTT timestamps).
+    SendAck(flow, pkt.ip.ecn == Ecn::kCe);
+  }
+}
+
+uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  FlowState& fs = flow.fs;
+  const uint32_t seq = pkt.tcp.seq;
+  const uint32_t len = static_cast<uint32_t>(pkt.payload.size());
+  TasStats& stats = service_->mutable_stats();
+
+  if (seq == fs.ack) {
+    // Common case: in-order arrival.
+    if (len > flow.RxFree()) {
+      // Payload buffer full: drop; TCP flow control makes this rare.
+      stats.rx_buffer_drops++;
+      return 0;
+    }
+    const uint32_t old_ack = fs.ack;
+    flow.CopyIntoRx(seq, pkt.payload.data(), len);
+    fs.ack += len;
+    fs.rx_head += len;
+    // Did the new data close the gap to the tracked out-of-order interval?
+    if (fs.ooo_len > 0 && SeqLe(fs.ooo_start, fs.ack)) {
+      const uint32_t ooo_end = fs.ooo_start + fs.ooo_len;
+      if (SeqGt(ooo_end, fs.ack)) {
+        const uint32_t extra = ooo_end - fs.ack;
+        fs.ack += extra;
+        fs.rx_head += extra;
+      }
+      fs.ooo_len = 0;
+      fs.ooo_start = 0;
+    }
+    const uint32_t advanced = fs.ack - old_ack;
+    service_->context(fs.context)->PushEvent(
+        AppEvent{AppEventType::kRxData, fs.opaque, advanced});
+    return advanced;
+  }
+
+  if (SeqGt(seq, fs.ack)) {
+    // Out-of-order arrival: exception handled on the fast path (§3.1).
+    if (service_->config().ooo_mode == OooMode::kGoBackN) {
+      stats.ooo_dropped++;
+      return 0;
+    }
+    const uint32_t end = seq + len;
+    if (end - fs.ack > flow.RxFree()) {
+      stats.ooo_dropped++;  // Does not fit in the receive buffer.
+      return 0;
+    }
+    if (fs.ooo_len == 0) {
+      fs.ooo_start = seq;
+      fs.ooo_len = len;
+      flow.CopyIntoRx(seq, pkt.payload.data(), len);
+      stats.ooo_accepted++;
+    } else {
+      const uint32_t cur_end = fs.ooo_start + fs.ooo_len;
+      // Same-interval rule: overlap or abut only.
+      if (SeqLe(seq, cur_end) && SeqGe(end, fs.ooo_start)) {
+        const uint32_t new_start = SeqLt(seq, fs.ooo_start) ? seq : fs.ooo_start;
+        const uint32_t new_end = SeqGt(end, cur_end) ? end : cur_end;
+        fs.ooo_start = new_start;
+        fs.ooo_len = new_end - new_start;
+        flow.CopyIntoRx(seq, pkt.payload.data(), len);
+        stats.ooo_accepted++;
+      } else {
+        stats.ooo_dropped++;
+      }
+    }
+    return 0;  // The ACK we send restates fs.ack -> duplicate ACK at sender.
+  }
+
+  // Old duplicate; re-ACK.
+  (void)flow_id;
+  return 0;
+}
+
+void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  FlowState& fs = flow.fs;
+  SetPeerWindowBytes(fs, static_cast<uint64_t>(pkt.tcp.window) << flow.peer_wscale);
+
+  // Valid cumulative ACKs fall within the app-written region (tx_tail,
+  // tx_head]. After a retransmission reset (tx_sent rewound to 0) the peer
+  // may legitimately ack bytes beyond tx_tail + tx_sent from segments sent
+  // before the reset.
+  const uint32_t acked = pkt.tcp.ack - fs.tx_tail;
+  if (acked > 0 && acked <= flow.TxQueued()) {
+    fs.tx_tail += acked;
+    fs.tx_sent = acked >= fs.tx_sent ? 0 : fs.tx_sent - acked;
+    if (SeqLt(fs.seq, fs.tx_tail)) {
+      fs.seq = fs.tx_tail;  // Never send bytes already acknowledged.
+    }
+    fs.cnt_ackb += acked;
+    if (pkt.tcp.ece()) {
+      fs.cnt_ecnb += acked;
+    }
+    fs.dupack_cnt = 0;
+    if (pkt.tcp.has_timestamps && pkt.tcp.ts_ecr != 0) {
+      const uint32_t sample_us = NowUs(service_->sim()) - pkt.tcp.ts_ecr;
+      if (sample_us < 10'000'000) {
+        fs.rtt_est = fs.rtt_est == 0 ? sample_us : fs.rtt_est - fs.rtt_est / 8 + sample_us / 8;
+      }
+    }
+    service_->context(fs.context)->PushEvent(
+        AppEvent{AppEventType::kTxDone, fs.opaque, acked});
+    service_->MarkFlowDirty(flow_id);
+    if (flow.TxAvailable() > 0) {
+      service_->ScheduleFlowTx(flow_id, flow.next_tx_time);
+    }
+    return;
+  }
+
+  if (acked == 0 && (fs.tx_sent > 0) && pkt.payload.empty()) {
+    // Duplicate ACK. Three trigger fast recovery: reset the sender state as
+    // if the unacked segments had not been sent (paper §3.1, exception 1).
+    if (++fs.dupack_cnt >= 3) {
+      fs.dupack_cnt = 0;
+      if (fs.cnt_frexmits < 0xFF) {
+        fs.cnt_frexmits++;
+      }
+      service_->mutable_stats().fast_retransmits++;
+      fs.seq = fs.tx_tail;
+      fs.tx_sent = 0;
+      service_->MarkFlowDirty(flow_id);
+      service_->ScheduleFlowTx(flow_id, 0);
+    }
+  }
+}
+
+void FastPathCore::SendAck(Flow& flow, bool ecn_echo) {
+  FlowState& fs = flow.fs;
+  uint8_t flags = TcpFlags::kAck;
+  if (ecn_echo) {
+    flags |= TcpFlags::kEce;
+  }
+  auto ack = MakeTcpPacket(service_->local_ip(), fs.local_port, fs.peer_ip, fs.peer_port,
+                           fs.seq, fs.ack, flags);
+  ack->tcp.window = static_cast<uint16_t>(
+      std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));
+  ack->tcp.has_timestamps = true;
+  ack->tcp.ts_val = NowUs(service_->sim());
+  ack->tcp.ts_ecr = flow.ts_echo;
+  ack->enqueued_at = service_->sim()->Now();
+  service_->mutable_stats().fastpath_acks_sent++;
+  service_->nic()->Transmit(std::move(ack));
+}
+
+PacketPtr FastPathCore::BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t len) {
+  FlowState& fs = flow.fs;
+  std::vector<uint8_t> payload(len);
+  flow.CopyFromTx(wire_seq, payload.data(), len);
+  auto pkt = MakeTcpPacket(service_->local_ip(), fs.local_port, fs.peer_ip, fs.peer_port,
+                           wire_seq, fs.ack, TcpFlags::kAck | TcpFlags::kPsh,
+                           std::move(payload));
+  pkt->ip.ecn = Ecn::kEct0;
+  pkt->tcp.window = static_cast<uint16_t>(
+      std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));
+  pkt->tcp.has_timestamps = true;
+  pkt->tcp.ts_val = NowUs(service_->sim());
+  pkt->tcp.ts_ecr = flow.ts_echo;
+  pkt->enqueued_at = service_->sim()->Now();
+  return pkt;
+}
+
+void FastPathCore::ProcessFlowTx(FlowId flow_id) {
+  Flow* flow = service_->flow_by_id(flow_id);
+  if (flow == nullptr) {
+    return;
+  }
+  flow->tx_pending = false;
+  if (!flow->FastPathEligible()) {
+    return;
+  }
+  FlowState& fs = flow->fs;
+  const uint32_t avail = flow->TxAvailable();
+  if (avail == 0) {
+    return;
+  }
+  const uint64_t peer_window = PeerWindowBytes(fs);
+  uint64_t allow = peer_window > fs.tx_sent ? peer_window - fs.tx_sent : 0;
+  if (flow->cc_window > 0) {
+    // Window-mode enforcement: in-flight bytes bounded by the slow path's
+    // congestion window.
+    const uint64_t cc_allow =
+        flow->cc_window > fs.tx_sent ? flow->cc_window - fs.tx_sent : 0;
+    allow = std::min(allow, cc_allow);
+  }
+  const uint32_t len =
+      static_cast<uint32_t>(std::min<uint64_t>({avail, flow->mss, allow}));
+  if (len == 0) {
+    return;  // Window full; the next ACK re-schedules us.
+  }
+
+  // Rate enforcement: the per-flow bucket must hold credit for the segment.
+  const TimeNs now = service_->sim()->Now();
+  const double burst = 2.0 * flow->mss;
+  const double tokens = flow->RefillTokens(now, std::max<double>(burst, len));
+  if (tokens < len) {
+    // Not enough credit: retry when the bucket refills.
+    const TimeNs wait =
+        static_cast<TimeNs>((static_cast<double>(len) - tokens) * 8e9 / flow->rate_bps) + 1;
+    flow->next_tx_time = now + wait;
+    service_->ScheduleFlowTx(flow_id, flow->next_tx_time);
+    return;
+  }
+  flow->tx_tokens -= len;
+
+  auto pkt = BuildDataPacket(*flow, fs.seq, len);
+  service_->mutable_stats().fastpath_tx_packets++;
+  service_->nic()->Transmit(std::move(pkt));
+  fs.seq += len;
+  fs.tx_sent += len;
+  service_->MarkFlowDirty(flow_id);
+  flow->next_tx_time = now;
+  if (flow->TxAvailable() > 0) {
+    service_->ScheduleFlowTx(flow_id, now);
+  }
+}
+
+void FastPathCore::SendWindowUpdate(FlowId flow_id) {
+  Flow* flow = service_->flow_by_id(flow_id);
+  if (flow == nullptr || !flow->FastPathEligible()) {
+    return;
+  }
+  SendAck(*flow, false);
+}
+
+}  // namespace tas

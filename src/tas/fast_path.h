@@ -1,0 +1,83 @@
+// One TAS fast-path core (paper §3.1): a linear packet-processing pipeline
+// that polls its NIC RX queue and a work queue of transmit/command items,
+// charges cycles on its simulated core, and blocks after an idle timeout
+// (woken by NIC/queue notifications — the workload-proportionality
+// mechanism of §3.4).
+//
+// Fast-path duties implemented here, straight from the paper:
+//  * in-order receive: deposit payload into the per-flow RX buffer, advance
+//    ack, notify the app context, generate an ACK (with ECN echo and
+//    timestamps);
+//  * drop when the payload buffer is full;
+//  * track ONE out-of-order interval; accept only segments extending it;
+//    other out-of-order arrivals are dropped and re-ACKed (triggering fast
+//    retransmit at the peer);
+//  * count duplicate ACKs and trigger fast recovery after three by rewinding
+//    tx_sent (go-back-N resend), bumping cnt_frexmits for the slow path;
+//  * transmit: segment payload from the TX buffer at the slow-path-set rate
+//    (token-less pacing: one segment per rate-spaced slot), reclaim the
+//    buffer on ACKs, and hand flow statistics to the slow path;
+//  * forward everything else (SYN/FIN/RST, unknown flows, non-established
+//    flows) to the slow path as exceptions.
+#ifndef SRC_TAS_FAST_PATH_H_
+#define SRC_TAS_FAST_PATH_H_
+
+#include <deque>
+
+#include "src/tas/flow.h"
+#include "src/tas/service.h"
+
+namespace tas {
+
+class FastPathCore {
+ public:
+  FastPathCore(TasService* service, Core* cpu, int index);
+
+  int index() const { return index_; }
+  Core* cpu() { return cpu_; }
+  bool blocked() const { return blocked_; }
+
+  // Work injection.
+  void EnqueueFlowTx(FlowId flow_id);
+  void EnqueueWindowUpdate(FlowId flow_id);
+  void NotifyRx();  // NIC enqueued a packet on this core's queue.
+
+  // Kicks the service loop (idempotent).
+  void MaybeRun();
+
+  // Slow-path hand-back: process a packet that raced establishment. The CPU
+  // cost was already charged by the slow path's exception handling.
+  void InjectPacket(PacketPtr pkt) { ProcessPacket(std::move(pkt)); }
+
+ private:
+  struct WorkItem {
+    enum class Type { kFlowTx, kWindowUpdate } type;
+    FlowId flow = kInvalidFlow;
+  };
+
+  bool HasWork() const;
+  void RunOne();
+  void ProcessPacket(PacketPtr pkt);
+  void ProcessFlowTx(FlowId flow_id);
+  void SendWindowUpdate(FlowId flow_id);
+
+  // Receive-side helpers.
+  void FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt);
+  void HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt);
+  uint32_t HandlePayload(FlowId flow_id, Flow& flow, const Packet& pkt);
+  void SendAck(Flow& flow, bool ecn_echo);
+  PacketPtr BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t len);
+
+  TasService* service_;
+  Core* cpu_;
+  int index_;
+  std::deque<WorkItem> work_;
+  bool busy_ = false;
+  bool blocked_ = false;
+  TimeNs idle_since_ = 0;
+  EventHandle block_timer_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TAS_FAST_PATH_H_

@@ -1,0 +1,92 @@
+#include "src/tas/flow.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace tas {
+
+const char* ConnStateName(ConnState state) {
+  switch (state) {
+    case ConnState::kSynSent:
+      return "SYN_SENT";
+    case ConnState::kSynRcvd:
+      return "SYN_RCVD";
+    case ConnState::kEstablished:
+      return "ESTABLISHED";
+    case ConnState::kFinWait1:
+      return "FIN_WAIT_1";
+    case ConnState::kFinWait2:
+      return "FIN_WAIT_2";
+    case ConnState::kCloseWait:
+      return "CLOSE_WAIT";
+    case ConnState::kLastAck:
+      return "LAST_ACK";
+    case ConnState::kTimeWait:
+      return "TIME_WAIT";
+    case ConnState::kFreed:
+      return "FREED";
+  }
+  return "?";
+}
+
+namespace {
+
+// Copies len bytes to/from a ring at a free-running position.
+void RingCopyIn(uint8_t* base, uint32_t size, uint32_t pos, const uint8_t* src, uint32_t len) {
+  const uint32_t at = pos % size;
+  const uint32_t first = std::min(len, size - at);
+  std::memcpy(base + at, src, first);
+  if (first < len) {
+    std::memcpy(base, src + first, len - first);
+  }
+}
+
+void RingCopyOut(const uint8_t* base, uint32_t size, uint32_t pos, uint8_t* dst, uint32_t len) {
+  const uint32_t at = pos % size;
+  const uint32_t first = std::min(len, size - at);
+  std::memcpy(dst, base + at, first);
+  if (first < len) {
+    std::memcpy(dst + first, base, len - first);
+  }
+}
+
+}  // namespace
+
+void Flow::CopyIntoRx(uint32_t wire_pos, const uint8_t* src, uint32_t len) {
+  if (len == 0) {
+    return;
+  }
+  RingCopyIn(fs.rx_base, fs.rx_size, wire_pos, src, len);
+}
+
+void Flow::CopyFromTx(uint32_t wire_pos, uint8_t* dst, uint32_t len) const {
+  if (len == 0) {
+    return;
+  }
+  RingCopyOut(fs.tx_base, fs.tx_size, wire_pos, dst, len);
+}
+
+uint32_t Flow::AppWriteTx(const uint8_t* src, uint32_t len) {
+  const uint32_t free_space = fs.tx_size - TxQueued();
+  const uint32_t n = std::min(len, free_space);
+  if (n == 0) {
+    return 0;
+  }
+  RingCopyIn(fs.tx_base, fs.tx_size, fs.tx_head, src, n);
+  fs.tx_head += n;
+  return n;
+}
+
+uint32_t Flow::AppReadRx(uint8_t* dst, uint32_t len) {
+  const uint32_t n = std::min(len, RxUsed());
+  if (n == 0) {
+    return 0;
+  }
+  RingCopyOut(fs.rx_base, fs.rx_size, fs.rx_tail, dst, n);
+  fs.rx_tail += n;
+  return n;
+}
+
+}  // namespace tas

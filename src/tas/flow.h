@@ -1,0 +1,103 @@
+// Runtime flow record: the fast-path FlowState plus the bookkeeping that
+// lives outside the packed 103-byte struct — payload buffer storage
+// (conceptually untrusted app shared memory), the slow path's connection FSM
+// and congestion-control instance, and transmit pacing state.
+#ifndef SRC_TAS_FLOW_H_
+#define SRC_TAS_FLOW_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/cc/cc.h"
+#include "src/cc/dctcp_window.h"
+#include "src/tas/flow_state.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+// Slow-path connection FSM (the fast path only touches kEstablished flows;
+// packets for flows in any other state are exceptions, paper §3.1).
+enum class ConnState : uint8_t {
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,   // Our FIN sent, not acked.
+  kFinWait2,   // Our FIN acked, waiting for peer FIN.
+  kCloseWait,  // Peer FIN consumed, app has not closed yet.
+  kLastAck,    // Peer closed first, our FIN sent.
+  kTimeWait,
+  kFreed,
+};
+
+struct Flow {
+  FlowState fs;
+
+  // Payload buffer storage. In the real system these arrays live in app
+  // shared memory; fs.rx_base/tx_base point at them.
+  std::vector<uint8_t> rx_mem;
+  std::vector<uint8_t> tx_mem;
+
+  // Negotiated TCP parameters (slow path writes once at setup).
+  uint16_t mss = 1448;
+  uint8_t peer_wscale = 0;
+  uint32_t ts_echo = 0;  // Peer ts_val to echo (fast path updates).
+
+  // --- Fast-path transmit scheduling ---------------------------------------
+  // Rate enforcement via the per-flow bucket (paper §3.1): credit accrues at
+  // rate_bps while the flow is idle, capped at a small burst, so an RPC
+  // response is never delayed behind a stale pacing gap.
+  double rate_bps = 10e6;       // Enforced rate (slow path sets).
+  uint64_t cc_window = 0;       // Window-mode limit; 0 = rate mode.
+  double tx_tokens = 0;         // Bucket fill, in bytes.
+  TimeNs tokens_updated = 0;
+  TimeNs next_tx_time = 0;      // Earliest next segment (bucket refill time).
+  bool tx_pending = false;      // Work queued or pacing timer armed.
+
+  // Refreshes the bucket to `now` and returns the available byte credit.
+  double RefillTokens(TimeNs now, double burst_bytes) {
+    const double delta = static_cast<double>(now - tokens_updated);
+    tx_tokens = std::min(burst_bytes, tx_tokens + rate_bps / 8e9 * delta);
+    tokens_updated = now;
+    return tx_tokens;
+  }
+
+  // --- Slow-path state ------------------------------------------------------
+  ConnState cstate = ConnState::kSynSent;
+  std::unique_ptr<RateCc> cc;         // Rate mode policy...
+  std::unique_ptr<WindowCc> wcc;      // ...or window mode policy.
+  uint32_t last_seq_sampled = 0;  // RTO detection: seq unchanged across
+  int stalled_intervals = 0;      // control intervals with data outstanding.
+  bool fin_received = false;      // Peer FIN consumed (ack covers it).
+  bool fin_sent = false;
+  bool fin_acked = false;
+  bool app_closed = false;        // App requested close.
+  bool closed_event_sent = false;
+  bool in_dirty = false;          // Queued for the next CC iteration.
+  bool in_pending = false;        // On the handshake/teardown scan list.
+  int ctrl_retries = 0;           // Handshake / FIN retransmission count.
+  TimeNs last_ctrl_send = 0;
+  TimeNs timewait_start = 0;
+  TimeNs established_at = 0;
+
+  bool FastPathEligible() const { return cstate == ConnState::kEstablished; }
+
+  // --- Buffer arithmetic (all positions are free-running wire sequences) ---
+  uint32_t RxUsed() const { return fs.rx_head - fs.rx_tail; }
+  uint32_t RxFree() const { return fs.rx_size - RxUsed(); }
+  uint32_t TxQueued() const { return fs.tx_head - fs.tx_tail; }
+  // Bytes written by the app but not yet sent.
+  uint32_t TxAvailable() const { return fs.tx_head - (fs.tx_tail + fs.tx_sent); }
+
+  void CopyIntoRx(uint32_t wire_pos, const uint8_t* src, uint32_t len);
+  void CopyFromTx(uint32_t wire_pos, uint8_t* dst, uint32_t len) const;
+  // libTAS side: append payload at tx_head / read payload at rx_tail.
+  uint32_t AppWriteTx(const uint8_t* src, uint32_t len);
+  uint32_t AppReadRx(uint8_t* dst, uint32_t len);
+};
+
+const char* ConnStateName(ConnState state);
+
+}  // namespace tas
+
+#endif  // SRC_TAS_FLOW_H_

@@ -1,0 +1,236 @@
+#include "src/tas/service.h"
+
+#include "src/cc/dctcp_rate.h"
+#include "src/cc/timely.h"
+#include "src/tas/fast_path.h"
+#include "src/tas/slow_path.h"
+
+namespace tas {
+namespace {
+
+std::unique_ptr<RateCc> MakeRateCc(const TasConfig& config) {
+  switch (config.cc_algorithm) {
+    case CcAlgorithm::kDctcpRate:
+      return std::make_unique<DctcpRateCc>(config.dctcp);
+    case CcAlgorithm::kTimely:
+      return std::make_unique<TimelyCc>();
+    default:
+      return nullptr;  // Window mode: the flow gets a WindowCc instead.
+  }
+}
+
+}  // namespace
+
+TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
+    : sim_(sim), config_(config), rng_(config.rng_seed) {
+  NicConfig nic_config;
+  nic_config.num_queues = config.max_fastpath_cores;
+  nic_ = std::make_unique<SimNic>(sim, port, nic_config);
+
+  slowpath_core_ = std::make_unique<Core>(sim, 1000, config.core_ghz);
+  for (int i = 0; i < config.max_fastpath_cores; ++i) {
+    fastpath_cores_.push_back(std::make_unique<Core>(sim, i, config.core_ghz));
+    fastpaths_.push_back(std::make_unique<FastPathCore>(this, fastpath_cores_.back().get(), i));
+  }
+  slow_path_ = std::make_unique<SlowPath>(this, slowpath_core_.get());
+  slow_path_->Start();
+
+  active_cores_ = config.dynamic_cores ? 1 : config.max_fastpath_cores;
+  nic_->SetActiveQueues(active_cores_);
+  core_trace_.emplace_back(sim->Now(), active_cores_);
+
+  for (int i = 0; i < config.max_fastpath_cores; ++i) {
+    nic_->SetRxNotify(i, [this, i] { fastpaths_[static_cast<size_t>(i)]->NotifyRx(); });
+  }
+}
+
+TasService::~TasService() = default;
+
+IpAddr TasService::local_ip() const { return nic_->ip(); }
+
+Core* TasService::fastpath_cpu(int i) { return fastpath_cores_[static_cast<size_t>(i)].get(); }
+Core* TasService::slowpath_cpu() { return slowpath_core_.get(); }
+FastPathCore* TasService::fastpath(int i) { return fastpaths_[static_cast<size_t>(i)].get(); }
+
+uint16_t TasService::RegisterContext(AppContext* context) {
+  contexts_.push_back(context);
+  const uint16_t id = static_cast<uint16_t>(contexts_.size() - 1);
+  context->set_fastpath_notify([this, id] { DrainContextCommands(id); });
+  return id;
+}
+
+void TasService::DrainContextCommands(uint16_t context_id) {
+  AppContext* ctx = contexts_[context_id];
+  while (auto cmd = ctx->tx().Pop()) {
+    Flow* flow = flow_by_id(static_cast<FlowId>(cmd->flow_id));
+    if (flow == nullptr || flow->cstate == ConnState::kFreed) {
+      continue;
+    }
+    switch (cmd->type) {
+      case TxCommandType::kSend:
+        if (flow->FastPathEligible() && flow->TxAvailable() > 0) {
+          ScheduleFlowTx(static_cast<FlowId>(cmd->flow_id), flow->next_tx_time);
+        }
+        break;
+      case TxCommandType::kWindowUpdate:
+        if (flow->FastPathEligible()) {
+          fastpaths_[static_cast<size_t>(CoreForFlow(*flow))]->EnqueueWindowUpdate(
+              static_cast<FlowId>(cmd->flow_id));
+        }
+        break;
+    }
+  }
+}
+
+void TasService::Listen(uint16_t port, uint64_t opaque, uint16_t context) {
+  slow_path_->CmdListen(port, opaque, context);
+}
+
+FlowId TasService::Connect(IpAddr dst_ip, uint16_t dst_port, uint64_t opaque,
+                           uint16_t context) {
+  const uint16_t local_port = AllocateEphemeralPort();
+  const FlowKey key{local_port, dst_ip, dst_port};
+  const FlowId id = AllocateFlow(key);
+  Flow& flow = *flow_by_id(id);
+  flow.fs.opaque = opaque != 0 ? opaque : id;
+  flow.fs.context = context;
+  flow.fs.local_port = local_port;
+  flow.fs.peer_ip = dst_ip;
+  flow.fs.peer_port = dst_port;
+  flow.cstate = ConnState::kSynSent;
+  slow_path_->CmdConnect(id);
+  return id;
+}
+
+void TasService::Close(FlowId flow_id) { slow_path_->CmdClose(flow_id); }
+
+Flow* TasService::GetFlow(FlowId flow_id) { return flow_by_id(flow_id); }
+
+Flow* TasService::LookupFlow(const FlowKey& key) {
+  const FlowId id = LookupFlowId(key);
+  return id == kInvalidFlow ? nullptr : flow_by_id(id);
+}
+
+FlowId TasService::LookupFlowId(const FlowKey& key) {
+  auto it = flow_table_.find(key);
+  return it == flow_table_.end() ? kInvalidFlow : it->second;
+}
+
+FlowId TasService::AllocateFlow(const FlowKey& key) {
+  TAS_CHECK(flow_table_.find(key) == flow_table_.end());
+  auto flow = std::make_unique<Flow>();
+  flow->rx_mem.resize(config_.rx_buffer_bytes);
+  flow->tx_mem.resize(config_.tx_buffer_bytes);
+  flow->fs.rx_base = flow->rx_mem.data();
+  flow->fs.tx_base = flow->tx_mem.data();
+  flow->fs.rx_size = config_.rx_buffer_bytes;
+  flow->fs.tx_size = config_.tx_buffer_bytes;
+  flow->fs.local_port = key.local_port;
+  flow->fs.peer_ip = key.peer_ip;
+  flow->fs.peer_port = key.peer_port;
+  flow->mss = config_.mss;
+  if (config_.cc_algorithm == CcAlgorithm::kDctcpWindow) {
+    WindowCcConfig wc;
+    wc.mss = config_.mss;
+    flow->wcc = std::make_unique<DctcpWindowCc>(wc);
+    flow->cc_window = flow->wcc->cwnd();
+    flow->rate_bps = 100e9;  // Window is the limiter; do not pace.
+  } else {
+    flow->cc = MakeRateCc(config_);
+    flow->rate_bps = flow->cc->rate_bps();
+  }
+
+  // Our ISN anchors the transmit positions: the first payload byte is iss+1.
+  const uint32_t iss = static_cast<uint32_t>(rng_.Next());
+  flow->fs.seq = iss + 1;
+  flow->fs.tx_head = iss + 1;
+  flow->fs.tx_tail = iss + 1;
+  flow->fs.tx_sent = 0;
+
+  flows_.push_back(std::move(flow));
+  const FlowId id = static_cast<FlowId>(flows_.size() - 1);
+  flow_table_[key] = id;
+  ++port_use_count_[key.local_port];
+  ++live_flows_;
+  return id;
+}
+
+void TasService::FreeFlow(FlowId id) {
+  Flow* flow = flow_by_id(id);
+  if (flow == nullptr) {
+    return;
+  }
+  flow_table_.erase(FlowKey{flow->fs.local_port, flow->fs.peer_ip, flow->fs.peer_port});
+  --port_use_count_[flow->fs.local_port];
+  flows_[id].reset();
+  --live_flows_;
+}
+
+uint16_t TasService::AllocateEphemeralPort() {
+  for (int attempts = 0; attempts < 45000; ++attempts) {
+    const uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65000 ? 20000 : next_ephemeral_ + 1;
+    if (port_use_count_[port] == 0) {
+      return port;
+    }
+  }
+  TAS_LOG(FATAL) << "ephemeral ports exhausted";
+  return 0;
+}
+
+int TasService::CoreForFlow(const Flow& flow) const {
+  Packet probe;
+  probe.ip.src = flow.fs.peer_ip;
+  probe.ip.dst = nic_->ip();
+  probe.tcp.src_port = flow.fs.peer_port;
+  probe.tcp.dst_port = flow.fs.local_port;
+  const int entry = nic_->RedirectionEntryFor(probe);
+  // The redirection table maps the entry to the queue == core index.
+  return nic_->RedirectionEntryQueue(entry);
+}
+
+void TasService::ScheduleFlowTx(FlowId id, TimeNs earliest) {
+  Flow* flow = flow_by_id(id);
+  if (flow == nullptr || flow->tx_pending) {
+    return;
+  }
+  flow->tx_pending = true;
+  if (earliest <= sim_->Now()) {
+    fastpaths_[static_cast<size_t>(CoreForFlow(*flow))]->EnqueueFlowTx(id);
+    return;
+  }
+  sim_->At(earliest, [this, id] {
+    Flow* f = flow_by_id(id);
+    if (f == nullptr || f->cstate == ConnState::kFreed) {
+      return;
+    }
+    fastpaths_[static_cast<size_t>(CoreForFlow(*f))]->EnqueueFlowTx(id);
+  });
+}
+
+void TasService::MarkFlowDirty(FlowId id) {
+  Flow* flow = flow_by_id(id);
+  if (flow == nullptr || flow->in_dirty) {
+    return;
+  }
+  flow->in_dirty = true;
+  dirty_flows_.push_back(id);
+}
+
+void TasService::SetActiveCores(int count) {
+  TAS_CHECK(count >= 1 && count <= config_.max_fastpath_cores);
+  if (count == active_cores_) {
+    return;
+  }
+  active_cores_ = count;
+  // Eagerly re-steer incoming packets (paper §3.4); outgoing application
+  // work re-routes lazily via CoreForFlow on the next scheduling decision.
+  nic_->SetActiveQueues(count);
+  core_trace_.emplace_back(sim_->Now(), count);
+  // Kick newly added cores in case work is already queued for them.
+  for (int i = 0; i < count; ++i) {
+    fastpaths_[static_cast<size_t>(i)]->MaybeRun();
+  }
+}
+
+}  // namespace tas

@@ -1,0 +1,172 @@
+// TasService: the TAS process (paper §4) — owns the NIC, a configurable
+// maximum number of fast-path cores, the slow path, the flow table, and the
+// per-application context queues. libTAS (src/libtas) talks to it the way
+// the real libTAS talks to TAS: commands and payload via shared-memory
+// queues and buffers, connection control via the slow path.
+#ifndef SRC_TAS_SERVICE_H_
+#define SRC_TAS_SERVICE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cc/dctcp_rate.h"
+#include "src/cpu/core.h"
+#include "src/cpu/cost_model.h"
+#include "src/nic/nic.h"
+#include "src/shm/context_queue.h"
+#include "src/tas/flow.h"
+#include "src/util/rng.h"
+
+namespace tas {
+
+class FastPathCore;
+class SlowPath;
+
+// How the fast path handles out-of-order arrivals (Fig 7 ablation).
+enum class OooMode {
+  kSingleInterval,  // Paper default: track one interval.
+  kGoBackN,         // "TAS simple recovery": drop all out-of-order data.
+};
+
+struct TasConfig {
+  int max_fastpath_cores = 4;
+  double core_ghz = 2.1;
+  // Workload proportionality (paper §3.4). When false, all cores stay active.
+  bool dynamic_cores = false;
+  TimeNs monitor_interval = Ms(1);
+  double idle_remove_threshold = 1.25;  // Aggregate idle cores to drop one.
+  double idle_add_threshold = 0.2;      // Aggregate idle cores to add one.
+  TimeNs block_timeout = Ms(10);        // Poll idle time before blocking.
+  TimeNs wake_latency = Us(5);          // eventfd wake + reschedule cost.
+
+  // Congestion control (slow path policy). Rate-based algorithms pace via
+  // per-flow buckets; kDctcpWindow makes the fast path enforce a window
+  // (tx_sent <= cc window) instead — paper §3.2 supports both.
+  CcAlgorithm cc_algorithm = CcAlgorithm::kDctcpRate;
+  DctcpRateConfig dctcp;
+  TimeNs control_interval = Us(50);     // tau; paper default 2 RTTs.
+  int rto_stall_intervals = 2;          // Intervals without progress -> rexmit.
+
+  // Connection parameters.
+  uint16_t mss = 1448;
+  uint8_t window_scale = 7;
+  uint32_t rx_buffer_bytes = 64 * 1024;
+  uint32_t tx_buffer_bytes = 64 * 1024;
+  TimeNs handshake_rto = Ms(20);  // SYN/FIN retransmission (doubles per retry).
+  int max_handshake_retries = 8;
+  TimeNs time_wait = Ms(1);
+  OooMode ooo_mode = OooMode::kSingleInterval;
+
+  // CPU cost model for the fast path side.
+  const StackCostModel* costs = &TasSocketsCostModel();
+
+  uint64_t rng_seed = 0x7A5;
+};
+
+struct TasStats {
+  uint64_t fastpath_rx_packets = 0;
+  uint64_t fastpath_tx_packets = 0;
+  uint64_t fastpath_acks_sent = 0;
+  uint64_t rx_buffer_drops = 0;   // Payload buffer full (paper: just drop).
+  uint64_t ooo_accepted = 0;
+  uint64_t ooo_dropped = 0;
+  uint64_t fast_retransmits = 0;
+  uint64_t timeout_retransmits = 0;
+  uint64_t exceptions = 0;
+  uint64_t cross_core_packets = 0;
+  uint64_t slowpath_packets = 0;
+  uint64_t connections_established = 0;
+  uint64_t connections_closed = 0;
+};
+
+class TasService {
+ public:
+  TasService(Simulator* sim, HostPort* port, const TasConfig& config);
+  ~TasService();
+
+  TasService(const TasService&) = delete;
+  TasService& operator=(const TasService&) = delete;
+
+  // --- libTAS-facing API ----------------------------------------------------
+  // Registers an application context queue pair; returns the context id.
+  uint16_t RegisterContext(AppContext* context);
+  // Starts a passive listener; incoming connections are announced on the
+  // registered context as kAcceptable events carrying the new flow id.
+  void Listen(uint16_t port, uint64_t opaque, uint16_t context);
+  // Starts an active open. The flow id is allocated synchronously; the
+  // handshake completes asynchronously and is announced with kConnOpened.
+  FlowId Connect(IpAddr dst_ip, uint16_t dst_port, uint64_t opaque, uint16_t context);
+  // Graceful close (FIN after pending data drains).
+  void Close(FlowId flow_id);
+  // Shared-memory view of the flow (libTAS reads/writes payload buffers).
+  Flow* GetFlow(FlowId flow_id);
+
+  // --- Introspection ---------------------------------------------------------
+  Simulator* sim() const { return sim_; }
+  SimNic* nic() { return nic_.get(); }
+  const TasConfig& config() const { return config_; }
+  const TasStats& stats() const { return stats_; }
+  TasStats& mutable_stats() { return stats_; }
+  int active_cores() const { return active_cores_; }
+  int max_cores() const { return config_.max_fastpath_cores; }
+  Core* fastpath_cpu(int i);
+  Core* slowpath_cpu();
+  SlowPath* slow_path() { return slow_path_.get(); }
+  FastPathCore* fastpath(int i);
+  size_t num_flows() const { return live_flows_; }
+  IpAddr local_ip() const;
+  // (time, active core count) trace for the Fig 14 proportionality plot.
+  const std::vector<std::pair<TimeNs, int>>& core_trace() const { return core_trace_; }
+
+  // --- Internal API shared by fast path / slow path / libtas ----------------
+  AppContext* context(uint16_t id) { return contexts_[id]; }
+  Flow* LookupFlow(const FlowKey& key);
+  FlowId LookupFlowId(const FlowKey& key);
+  Flow* flow_by_id(FlowId id) {
+    return id < flows_.size() ? flows_[id].get() : nullptr;
+  }
+  FlowId AllocateFlow(const FlowKey& key);
+  void FreeFlow(FlowId id);
+  uint16_t AllocateEphemeralPort();
+  // Which fast-path core currently owns packets of this flow (RSS steering).
+  int CoreForFlow(const Flow& flow) const;
+  // Queues transmit work for a flow on its owning core.
+  void ScheduleFlowTx(FlowId id, TimeNs earliest);
+  // Marks a flow for the slow path's next congestion-control iteration.
+  void MarkFlowDirty(FlowId id);
+  void SetActiveCores(int count);
+  Rng& rng() { return rng_; }
+  uint64_t ExtraCacheCyclesPerPacket() const {
+    return config_.costs->cache.ExtraCyclesPerPacket(live_flows_);
+  }
+  std::vector<FlowId>& dirty_flows() { return dirty_flows_; }
+
+ private:
+  void DrainContextCommands(uint16_t context_id);
+
+  Simulator* sim_;
+  TasConfig config_;
+  std::unique_ptr<SimNic> nic_;
+  std::unique_ptr<Core> slowpath_core_;
+  std::vector<std::unique_ptr<Core>> fastpath_cores_;
+  std::vector<std::unique_ptr<FastPathCore>> fastpaths_;
+  std::unique_ptr<SlowPath> slow_path_;
+  std::vector<AppContext*> contexts_;
+
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::unordered_map<FlowKey, FlowId, FlowKeyHash> flow_table_;
+  std::vector<FlowId> dirty_flows_;
+  size_t live_flows_ = 0;
+  uint16_t next_ephemeral_ = 20000;
+  std::vector<uint32_t> port_use_count_ = std::vector<uint32_t>(65536, 0);
+  int active_cores_ = 1;
+  std::vector<std::pair<TimeNs, int>> core_trace_;
+  TasStats stats_;
+  Rng rng_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TAS_SERVICE_H_

@@ -1,0 +1,605 @@
+#include "src/tas/slow_path.h"
+
+#include <algorithm>
+
+#include "src/cc/dctcp_rate.h"
+#include "src/cc/timely.h"
+#include "src/tas/fast_path.h"
+#include "src/tcp/seq.h"
+
+namespace tas {
+namespace {
+
+// Slow-path CPU costs (cycles). These are deliberately heavy relative to the
+// fast path: connection control involves the slow path and the application
+// several times per handshake (paper §5.1, short-lived connections).
+constexpr uint64_t kExceptionCycles = 600;
+constexpr uint64_t kCcIterationCycles = 120;
+
+uint32_t NowUs(Simulator* sim) { return static_cast<uint32_t>(sim->Now() / kNsPerUs); }
+
+}  // namespace
+
+SlowPath::SlowPath(TasService* service, Core* cpu) : service_(service), cpu_(cpu) {}
+
+SlowPath::~SlowPath() = default;
+
+void SlowPath::Start() {
+  cc_task_ = std::make_unique<PeriodicTask>(service_->sim(), service_->config().control_interval,
+                                            [this] { ControlLoop(); });
+  cc_task_->Start();
+  if (service_->config().dynamic_cores) {
+    monitor_task_ = std::make_unique<PeriodicTask>(
+        service_->sim(), service_->config().monitor_interval, [this] { MonitorCores(); });
+    monitor_task_->Start();
+  }
+}
+
+void SlowPath::EnqueueException(PacketPtr pkt) {
+  exceptions_.push_back(std::move(pkt));
+  MaybeProcess();
+}
+
+void SlowPath::MaybeProcess() {
+  if (busy_ || exceptions_.empty()) {
+    return;
+  }
+  PacketPtr pkt = std::move(exceptions_.front());
+  exceptions_.pop_front();
+  const TimeNs done = cpu_->Charge(CpuModule::kTcp, kExceptionCycles);
+  busy_ = true;
+  auto* raw = pkt.release();
+  service_->sim()->At(done, [this, raw] {
+    busy_ = false;
+    HandleException(PacketPtr(raw));
+    MaybeProcess();
+  });
+}
+
+void SlowPath::HandleException(PacketPtr pkt) {
+  service_->mutable_stats().slowpath_packets++;
+  const FlowKey key{pkt->tcp.dst_port, pkt->ip.src, pkt->tcp.src_port};
+  const FlowId id = service_->LookupFlowId(key);
+
+  if (pkt->tcp.syn() && !pkt->tcp.ack_flag()) {
+    if (id != kInvalidFlow) {
+      // Retransmitted SYN for a half-open flow: re-send the SYN-ACK.
+      Flow* flow = service_->flow_by_id(id);
+      if (flow != nullptr && flow->cstate == ConnState::kSynRcvd) {
+        SendSynAck(*flow);
+      }
+      return;
+    }
+    HandleSyn(*pkt);
+    return;
+  }
+
+  if (id == kInvalidFlow) {
+    return;  // Unknown flow (stale segment after teardown): drop.
+  }
+  Flow* flow = service_->flow_by_id(id);
+  if (flow == nullptr) {
+    return;
+  }
+  if (HandleFlowPacket(id, *flow, *pkt)) {
+    // The packet raced connection establishment (e.g. payload piggybacked on
+    // the handshake-completing ACK): hand it to the fast path now that the
+    // flow is eligible. The exception charge already covered the CPU work.
+    service_->fastpath(service_->CoreForFlow(*flow))->InjectPacket(std::move(pkt));
+  }
+}
+
+void SlowPath::HandleSyn(const Packet& pkt) {
+  auto listener_it = listeners_.find(pkt.tcp.dst_port);
+  if (listener_it == listeners_.end()) {
+    return;  // No listener: drop (a full stack would send RST).
+  }
+  const Listener& listener = listener_it->second;
+
+  const FlowKey key{pkt.tcp.dst_port, pkt.ip.src, pkt.tcp.src_port};
+  const FlowId id = service_->AllocateFlow(key);
+  Flow& flow = *service_->flow_by_id(id);
+  // The flow id is the event identity from the first byte on; libTAS keys
+  // its connection table by it. The listener's opaque rides only on the
+  // kAcceptable notification.
+  flow.fs.opaque = id;
+  flow.fs.context = listener.context;
+  flow.fs.local_port = pkt.tcp.dst_port;
+  flow.fs.peer_ip = pkt.ip.src;
+  flow.fs.peer_port = pkt.tcp.src_port;
+
+  // Peer's ISN anchors the receive positions.
+  const uint32_t irs = pkt.tcp.seq;
+  flow.fs.ack = irs + 1;
+  flow.fs.rx_head = irs + 1;
+  flow.fs.rx_tail = irs + 1;
+  if (pkt.tcp.has_mss) {
+    flow.mss = std::min<uint16_t>(flow.mss, pkt.tcp.mss);
+  }
+  flow.peer_wscale = pkt.tcp.has_wscale ? pkt.tcp.wscale : 0;
+  SetPeerWindowBytes(flow.fs, pkt.tcp.window);  // SYN windows are unscaled.
+  if (pkt.tcp.has_timestamps) {
+    flow.ts_echo = pkt.tcp.ts_val;
+  }
+  flow.cstate = ConnState::kSynRcvd;
+  // Charge the heavier half of connection setup on the passive side.
+  cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_setup / 2);
+  SendSynAck(flow);
+  AddPending(id, flow);
+}
+
+bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  if (pkt.tcp.has_timestamps) {
+    flow.ts_echo = pkt.tcp.ts_val;
+  }
+  if (pkt.tcp.rst()) {
+    if (flow.cstate == ConnState::kSynSent) {
+      service_->context(flow.fs.context)
+          ->PushEvent(AppEvent{AppEventType::kConnOpenFailed, flow.fs.opaque, flow_id});
+      flow.closed_event_sent = true;
+    }
+    ReleaseFlow(flow_id, flow);
+    return false;
+  }
+  const bool payload_for_fastpath = !pkt.payload.empty() && !pkt.tcp.syn() && !pkt.tcp.fin();
+
+  switch (flow.cstate) {
+    case ConnState::kSynSent: {
+      if (pkt.tcp.syn() && pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq) {
+        const uint32_t irs = pkt.tcp.seq;
+        flow.fs.ack = irs + 1;
+        flow.fs.rx_head = irs + 1;
+        flow.fs.rx_tail = irs + 1;
+        if (pkt.tcp.has_mss) {
+          flow.mss = std::min<uint16_t>(flow.mss, pkt.tcp.mss);
+        }
+        flow.peer_wscale = pkt.tcp.has_wscale ? pkt.tcp.wscale : 0;
+        SetPeerWindowBytes(flow.fs, pkt.tcp.window);
+        SendControlAck(flow);
+        Establish(flow_id, flow, /*from_listener=*/false);
+        return payload_for_fastpath;
+      }
+      return false;
+    }
+    case ConnState::kSynRcvd: {
+      if (pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq) {
+        SetPeerWindowBytes(flow.fs,
+                           static_cast<uint64_t>(pkt.tcp.window) << flow.peer_wscale);
+        Establish(flow_id, flow, /*from_listener=*/true);
+        return payload_for_fastpath;
+      }
+      return false;
+    }
+    case ConnState::kEstablished:
+    case ConnState::kCloseWait: {
+      if (pkt.tcp.syn()) {
+        // Retransmitted SYN-ACK: our handshake-completing ACK was lost.
+        SendControlAck(flow);
+        return false;
+      }
+      if (pkt.tcp.fin()) {
+        HandleFin(flow_id, flow, pkt);
+        return false;
+      }
+      // Data or ACK for an established flow reached the slow path (e.g. a
+      // race with core re-steering): bounce it back to the fast path.
+      return flow.cstate == ConnState::kEstablished;
+    }
+    case ConnState::kFinWait1: {
+      if (pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq + 1) {
+        flow.fin_acked = true;
+      }
+      if (pkt.tcp.fin()) {
+        HandleFin(flow_id, flow, pkt);
+        return false;
+      } else if (flow.fin_acked) {
+        flow.cstate = flow.fin_received ? ConnState::kTimeWait : ConnState::kFinWait2;
+        if (flow.cstate == ConnState::kTimeWait) {
+          flow.timewait_start = service_->sim()->Now();
+        }
+      }
+      return false;
+    }
+    case ConnState::kFinWait2: {
+      if (pkt.tcp.fin()) {
+        HandleFin(flow_id, flow, pkt);
+      }
+      return false;
+    }
+    case ConnState::kLastAck: {
+      if (pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq + 1) {
+        ReleaseFlow(flow_id, flow);
+      }
+      return false;
+    }
+    case ConnState::kTimeWait: {
+      if (pkt.tcp.fin()) {
+        SendControlAck(flow);  // Retransmitted FIN: re-ACK.
+      }
+      return false;
+    }
+    case ConnState::kFreed:
+      return false;
+  }
+  return false;
+}
+
+void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  // Deliver any payload riding with the FIN if it is in order.
+  uint32_t fin_seq = pkt.tcp.seq;
+  if (!pkt.payload.empty()) {
+    const uint32_t len = static_cast<uint32_t>(pkt.payload.size());
+    if (pkt.tcp.seq == flow.fs.ack && len <= flow.RxFree()) {
+      flow.CopyIntoRx(pkt.tcp.seq, pkt.payload.data(), len);
+      flow.fs.ack += len;
+      flow.fs.rx_head += len;
+      service_->context(flow.fs.context)
+          ->PushEvent(AppEvent{AppEventType::kRxData, flow.fs.opaque, len});
+    }
+    fin_seq += len;
+  }
+  if (fin_seq != flow.fs.ack) {
+    SendControlAck(flow);  // Out-of-order FIN: duplicate ACK, peer resends.
+    return;
+  }
+  flow.fs.ack += 1;  // Consume the FIN.
+  flow.fin_received = true;
+  SendControlAck(flow);
+
+  switch (flow.cstate) {
+    case ConnState::kEstablished:
+      flow.cstate = ConnState::kCloseWait;
+      NotifyClosed(flow);
+      AddPending(flow_id, flow);
+      break;
+    case ConnState::kFinWait1:
+      flow.cstate = flow.fin_acked ? ConnState::kTimeWait : ConnState::kFinWait1;
+      if (flow.cstate == ConnState::kTimeWait) {
+        flow.timewait_start = service_->sim()->Now();
+      }
+      break;
+    case ConnState::kFinWait2:
+      flow.cstate = ConnState::kTimeWait;
+      flow.timewait_start = service_->sim()->Now();
+      break;
+    default:
+      break;
+  }
+}
+
+void SlowPath::CmdListen(uint16_t port, uint64_t opaque, uint16_t context) {
+  listeners_[port] = Listener{opaque, context};
+}
+
+void SlowPath::CmdConnect(FlowId flow_id) {
+  Flow* flow = service_->flow_by_id(flow_id);
+  TAS_CHECK(flow != nullptr);
+  cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_setup / 2);
+  SendSyn(*flow);
+  AddPending(flow_id, *flow);
+}
+
+void SlowPath::CmdClose(FlowId flow_id) {
+  Flow* flow = service_->flow_by_id(flow_id);
+  if (flow == nullptr || flow->cstate == ConnState::kFreed) {
+    return;
+  }
+  flow->app_closed = true;
+  cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_teardown / 2);
+  TrySendFin(flow_id, *flow);
+  AddPending(flow_id, *flow);
+}
+
+void SlowPath::TrySendFin(FlowId flow_id, Flow& flow) {
+  if (flow.fin_sent || !flow.app_closed) {
+    return;
+  }
+  if (flow.cstate != ConnState::kEstablished && flow.cstate != ConnState::kCloseWait) {
+    return;
+  }
+  // Wait until all queued payload is sent and acknowledged.
+  if (flow.TxQueued() > 0) {
+    AddPending(flow_id, flow);
+    return;
+  }
+  flow.fin_sent = true;
+  flow.cstate =
+      flow.cstate == ConnState::kEstablished ? ConnState::kFinWait1 : ConnState::kLastAck;
+  SendFin(flow);
+}
+
+void SlowPath::SendSyn(Flow& flow) {
+  auto syn = MakeTcpPacket(service_->local_ip(), flow.fs.local_port, flow.fs.peer_ip,
+                           flow.fs.peer_port, flow.fs.seq - 1, 0, TcpFlags::kSyn);
+  syn->tcp.has_mss = true;
+  syn->tcp.mss = flow.mss;
+  syn->tcp.has_wscale = true;
+  syn->tcp.wscale = service_->config().window_scale;
+  syn->tcp.window =
+      static_cast<uint16_t>(std::min<uint32_t>(flow.fs.rx_size, 0xFFFF));
+  syn->tcp.has_timestamps = true;
+  syn->tcp.ts_val = NowUs(service_->sim());
+  syn->enqueued_at = service_->sim()->Now();
+  flow.last_ctrl_send = service_->sim()->Now();
+  service_->nic()->Transmit(std::move(syn));
+}
+
+void SlowPath::SendSynAck(Flow& flow) {
+  auto synack =
+      MakeTcpPacket(service_->local_ip(), flow.fs.local_port, flow.fs.peer_ip,
+                    flow.fs.peer_port, flow.fs.seq - 1, flow.fs.ack,
+                    TcpFlags::kSyn | TcpFlags::kAck);
+  synack->tcp.has_mss = true;
+  synack->tcp.mss = flow.mss;
+  synack->tcp.has_wscale = true;
+  synack->tcp.wscale = service_->config().window_scale;
+  synack->tcp.window =
+      static_cast<uint16_t>(std::min<uint32_t>(flow.fs.rx_size, 0xFFFF));
+  synack->tcp.has_timestamps = true;
+  synack->tcp.ts_val = NowUs(service_->sim());
+  synack->tcp.ts_ecr = flow.ts_echo;
+  synack->enqueued_at = service_->sim()->Now();
+  flow.last_ctrl_send = service_->sim()->Now();
+  service_->nic()->Transmit(std::move(synack));
+}
+
+void SlowPath::SendFin(Flow& flow) {
+  auto fin = MakeTcpPacket(service_->local_ip(), flow.fs.local_port, flow.fs.peer_ip,
+                           flow.fs.peer_port, flow.fs.seq, flow.fs.ack,
+                           TcpFlags::kFin | TcpFlags::kAck);
+  fin->tcp.window = static_cast<uint16_t>(
+      std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));
+  fin->tcp.has_timestamps = true;
+  fin->tcp.ts_val = NowUs(service_->sim());
+  fin->tcp.ts_ecr = flow.ts_echo;
+  fin->enqueued_at = service_->sim()->Now();
+  flow.last_ctrl_send = service_->sim()->Now();
+  service_->nic()->Transmit(std::move(fin));
+}
+
+void SlowPath::SendControlAck(Flow& flow) {
+  auto ack = MakeTcpPacket(service_->local_ip(), flow.fs.local_port, flow.fs.peer_ip,
+                           flow.fs.peer_port, flow.fs.seq + (flow.fin_sent ? 1 : 0),
+                           flow.fs.ack, TcpFlags::kAck);
+  ack->tcp.window = static_cast<uint16_t>(
+      std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));
+  ack->tcp.has_timestamps = true;
+  ack->tcp.ts_val = NowUs(service_->sim());
+  ack->tcp.ts_ecr = flow.ts_echo;
+  ack->enqueued_at = service_->sim()->Now();
+  service_->nic()->Transmit(std::move(ack));
+}
+
+void SlowPath::Establish(FlowId flow_id, Flow& flow, bool from_listener) {
+  flow.cstate = ConnState::kEstablished;
+  flow.established_at = service_->sim()->Now();
+  flow.ctrl_retries = 0;
+  service_->mutable_stats().connections_established++;
+  if (from_listener) {
+    service_->context(flow.fs.context)
+        ->PushEvent(AppEvent{AppEventType::kAcceptable, flow.fs.opaque, flow_id});
+  } else {
+    service_->context(flow.fs.context)
+        ->PushEvent(AppEvent{AppEventType::kConnOpened, flow.fs.opaque, flow_id});
+  }
+  // The app may already have queued payload (unusual); kick transmit.
+  if (flow.TxAvailable() > 0) {
+    service_->ScheduleFlowTx(flow_id, 0);
+  }
+}
+
+void SlowPath::NotifyClosed(Flow& flow) {
+  if (flow.closed_event_sent) {
+    return;
+  }
+  flow.closed_event_sent = true;
+  service_->context(flow.fs.context)
+      ->PushEvent(AppEvent{AppEventType::kConnClosed, flow.fs.opaque, 0});
+}
+
+void SlowPath::ReleaseFlow(FlowId flow_id, Flow& flow) {
+  if (flow.cstate == ConnState::kFreed) {
+    return;
+  }
+  NotifyClosed(flow);
+  flow.cstate = ConnState::kFreed;
+  service_->mutable_stats().connections_closed++;
+  service_->FreeFlow(flow_id);
+}
+
+void SlowPath::AddPending(FlowId flow_id, Flow& flow) {
+  if (flow.in_pending) {
+    return;
+  }
+  flow.in_pending = true;
+  pending_.push_back(flow_id);
+}
+
+void SlowPath::ControlLoop() {
+  // Congestion control for flows with recent activity (paper: the slow path
+  // runs a control-loop iteration per flow every control interval; flows
+  // without feedback and without outstanding data have nothing to update).
+  std::vector<FlowId> dirty;
+  dirty.swap(service_->dirty_flows());
+  for (FlowId id : dirty) {
+    Flow* flow = service_->flow_by_id(id);
+    if (flow == nullptr || flow->cstate == ConnState::kFreed) {
+      continue;
+    }
+    flow->in_dirty = false;
+    RunCongestionControl(id, *flow);
+  }
+  ScanPending();
+}
+
+void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
+  ++control_iterations_;
+  cpu_->Charge(CpuModule::kTcp, kCcIterationCycles);
+  const TimeNs interval = service_->config().control_interval;
+
+  CcFeedback feedback;
+  feedback.acked_bytes = flow.fs.cnt_ackb;
+  feedback.ecn_bytes = flow.fs.cnt_ecnb;
+  feedback.retransmits = flow.fs.cnt_frexmits;
+  feedback.rtt = static_cast<TimeNs>(flow.fs.rtt_est) * kNsPerUs;
+  feedback.actual_tx_bps =
+      static_cast<double>(flow.fs.cnt_ackb) * 8.0 / ToSec(interval);
+  feedback.app_limited = flow.TxAvailable() == 0;
+
+  // Retransmission timeout detection (paper §3.2): outstanding data with no
+  // progress across control intervals triggers a fast-path reset. The stall
+  // threshold adapts to the measured RTT so slow (rate-limited) flows are
+  // not reset spuriously when an ACK simply has not had time to return.
+  bool timed_out = false;
+  if (flow.fs.tx_sent > 0 && flow.fs.cnt_ackb == 0 &&
+      flow.fs.seq == flow.last_seq_sampled) {
+    const TimeNs rtt = static_cast<TimeNs>(flow.fs.rtt_est) * kNsPerUs;
+    const int required = std::max<int>(
+        service_->config().rto_stall_intervals,
+        static_cast<int>(4 * rtt / std::max<TimeNs>(interval, 1)) + 1);
+    if (++flow.stalled_intervals >= required) {
+      timed_out = true;
+      flow.stalled_intervals = 0;
+    }
+  } else {
+    flow.stalled_intervals = 0;
+  }
+  flow.last_seq_sampled = flow.fs.seq;
+  if (timed_out) {
+    service_->mutable_stats().timeout_retransmits++;
+    feedback.retransmits += 1;
+    // Instruct the fast path to reset and retransmit.
+    flow.fs.seq = flow.fs.tx_tail;
+    flow.fs.tx_sent = 0;
+    service_->ScheduleFlowTx(flow_id, 0);
+  }
+
+  if (flow.wcc != nullptr) {
+    // Window mode: feed the window controller and publish the new window.
+    if (feedback.acked_bytes > 0) {
+      flow.wcc->OnAck(feedback.acked_bytes, feedback.ecn_bytes > 0, feedback.rtt);
+    }
+    if (timed_out) {
+      flow.wcc->OnTimeout();
+    } else if (flow.fs.cnt_frexmits > 0) {
+      flow.wcc->OnFastRetransmit();
+    }
+    flow.cc_window = flow.wcc->cwnd();
+  } else {
+    flow.rate_bps = flow.cc->Update(feedback);
+  }
+  flow.fs.cnt_ackb = 0;
+  flow.fs.cnt_ecnb = 0;
+  flow.fs.cnt_frexmits = 0;
+
+  // Keep watching flows with outstanding data (for RTO detection).
+  if (flow.fs.tx_sent > 0 || flow.TxAvailable() > 0) {
+    service_->MarkFlowDirty(flow_id);
+  }
+}
+
+void SlowPath::ScanPending() {
+  const TimeNs now = service_->sim()->Now();
+  const TasConfig& config = service_->config();
+  std::vector<FlowId> keep;
+  for (FlowId id : pending_) {
+    Flow* fp = service_->flow_by_id(id);
+    if (fp == nullptr || fp->cstate == ConnState::kFreed) {
+      continue;
+    }
+    Flow& flow = *fp;
+    bool still_pending = true;
+    switch (flow.cstate) {
+      case ConnState::kSynSent:
+      case ConnState::kSynRcvd: {
+        const TimeNs rto = config.handshake_rto << std::min(flow.ctrl_retries, 6);
+        if (now - flow.last_ctrl_send >= rto) {
+          if (++flow.ctrl_retries > config.max_handshake_retries) {
+            if (flow.cstate == ConnState::kSynSent) {
+              service_->context(flow.fs.context)
+                  ->PushEvent(AppEvent{AppEventType::kConnOpenFailed, flow.fs.opaque, id});
+              flow.closed_event_sent = true;
+            }
+            ReleaseFlow(id, flow);
+            still_pending = false;
+          } else if (flow.cstate == ConnState::kSynSent) {
+            SendSyn(flow);
+          } else {
+            SendSynAck(flow);
+          }
+        }
+        break;
+      }
+      case ConnState::kEstablished:
+      case ConnState::kCloseWait: {
+        if (flow.app_closed && !flow.fin_sent) {
+          TrySendFin(id, flow);
+        } else if (!flow.app_closed) {
+          still_pending = false;
+        }
+        break;
+      }
+      case ConnState::kFinWait1:
+      case ConnState::kLastAck: {
+        const TimeNs rto = config.handshake_rto << std::min(flow.ctrl_retries, 6);
+        if (now - flow.last_ctrl_send >= rto) {
+          if (++flow.ctrl_retries > config.max_handshake_retries) {
+            ReleaseFlow(id, flow);
+            still_pending = false;
+          } else {
+            SendFin(flow);
+          }
+        }
+        break;
+      }
+      case ConnState::kFinWait2:
+        break;  // Waiting for the peer's FIN; no retransmission needed.
+      case ConnState::kTimeWait: {
+        if (now - flow.timewait_start >= config.time_wait) {
+          ReleaseFlow(id, flow);
+          still_pending = false;
+        }
+        break;
+      }
+      case ConnState::kFreed:
+        still_pending = false;
+        break;
+    }
+    if (still_pending && service_->flow_by_id(id) != nullptr &&
+        service_->flow_by_id(id)->cstate != ConnState::kFreed) {
+      keep.push_back(id);
+    } else if (fp->cstate != ConnState::kFreed) {
+      fp->in_pending = false;
+    }
+  }
+  pending_.swap(keep);
+}
+
+void SlowPath::MonitorCores() {
+  const int max_cores = service_->max_cores();
+  if (busy_snapshot_.empty()) {
+    busy_snapshot_.resize(static_cast<size_t>(max_cores), 0);
+  }
+  const TimeNs window = service_->config().monitor_interval;
+  const int active = service_->active_cores();
+
+  double idle_total = 0;
+  for (int i = 0; i < active; ++i) {
+    Core* core = service_->fastpath_cpu(i);
+    const TimeNs busy = core->busy_ns() - busy_snapshot_[i];
+    const double util =
+        std::clamp(static_cast<double>(busy) / static_cast<double>(window), 0.0, 1.0);
+    idle_total += 1.0 - util;
+  }
+  for (int i = 0; i < max_cores; ++i) {
+    busy_snapshot_[i] = service_->fastpath_cpu(i)->busy_ns();
+  }
+
+  if (idle_total > service_->config().idle_remove_threshold && active > 1) {
+    service_->SetActiveCores(active - 1);
+  } else if (idle_total < service_->config().idle_add_threshold && active < max_cores) {
+    service_->SetActiveCores(active + 1);
+  }
+}
+
+}  // namespace tas

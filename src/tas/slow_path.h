@@ -1,0 +1,82 @@
+// The TAS slow path (paper §3.2): connection control (full TCP handshake and
+// teardown), the congestion-control policy loop, retransmission timeouts,
+// the TCP-stack/context registry, and the workload-proportionality core
+// monitor (§3.4). Runs on its own (partially used) core; the fast path
+// forwards everything non-common-case here as exceptions.
+#ifndef SRC_TAS_SLOW_PATH_H_
+#define SRC_TAS_SLOW_PATH_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tas/flow.h"
+#include "src/tas/service.h"
+
+namespace tas {
+
+class SlowPath {
+ public:
+  SlowPath(TasService* service, Core* cpu);
+  ~SlowPath();
+
+  // Starts the periodic congestion-control loop and the core monitor.
+  void Start();
+
+  Core* cpu() { return cpu_; }
+
+  // --- Fast path hand-off ----------------------------------------------------
+  void EnqueueException(PacketPtr pkt);
+
+  // --- Commands from libTAS (via TasService) ---------------------------------
+  void CmdListen(uint16_t port, uint64_t opaque, uint16_t context);
+  void CmdConnect(FlowId flow_id);
+  void CmdClose(FlowId flow_id);
+
+  uint64_t control_iterations() const { return control_iterations_; }
+
+ private:
+  struct Listener {
+    uint64_t opaque = 0;
+    uint16_t context = 0;
+  };
+
+  void MaybeProcess();
+  void HandleException(PacketPtr pkt);
+  void HandleSyn(const Packet& pkt);
+  // Returns true if the packet should be re-injected into the fast path
+  // (it carried payload and the flow is now established).
+  bool HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt);
+  void HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt);
+
+  void SendSyn(Flow& flow);
+  void SendSynAck(Flow& flow);
+  void SendFin(Flow& flow);
+  void SendControlAck(Flow& flow);
+  void Establish(FlowId flow_id, Flow& flow, bool from_listener);
+  void NotifyClosed(Flow& flow);
+  void ReleaseFlow(FlowId flow_id, Flow& flow);
+  void AddPending(FlowId flow_id, Flow& flow);
+  void TrySendFin(FlowId flow_id, Flow& flow);
+
+  void ControlLoop();
+  void RunCongestionControl(FlowId flow_id, Flow& flow);
+  void ScanPending();
+  void MonitorCores();
+
+  TasService* service_;
+  Core* cpu_;
+  std::deque<PacketPtr> exceptions_;
+  bool busy_ = false;
+  std::unordered_map<uint16_t, Listener> listeners_;
+  std::vector<FlowId> pending_;  // Flows in handshake or teardown.
+  std::unique_ptr<PeriodicTask> cc_task_;
+  std::unique_ptr<PeriodicTask> monitor_task_;
+  std::vector<TimeNs> busy_snapshot_;
+  uint64_t control_iterations_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TAS_SLOW_PATH_H_

@@ -1,0 +1,34 @@
+#include "src/tcp/rtt.h"
+
+#include <algorithm>
+
+namespace tas {
+
+RttEstimator::RttEstimator(TimeNs min_rto, TimeNs max_rto)
+    : min_rto_(min_rto), max_rto_(max_rto) {}
+
+void RttEstimator::AddSample(TimeNs rtt) {
+  rtt = std::max<TimeNs>(rtt, 1);
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // alpha = 1/8, beta = 1/4.
+  const TimeNs err = rtt - srtt_;
+  srtt_ += err / 8;
+  rttvar_ += (std::abs(err) - rttvar_) / 4;
+}
+
+TimeNs RttEstimator::Rto() const {
+  TimeNs rto = has_sample_ ? srtt_ + 4 * rttvar_ : Ms(200);
+  rto = std::clamp(rto, min_rto_, max_rto_);
+  const int shift = std::min(backoff_shift_, 16);
+  rto = std::min(max_rto_, rto << shift);
+  return rto;
+}
+
+void RttEstimator::Backoff() { ++backoff_shift_; }
+
+}  // namespace tas

@@ -1,0 +1,43 @@
+// RFC 6298 round-trip-time estimation: SRTT, RTTVAR, and the retransmission
+// timeout. TAS's fast path feeds this from TCP timestamps (paper Table 3:
+// rtt_est); the slow path uses the RTO for its retransmission-timeout scan,
+// and TIMELY consumes raw samples.
+#ifndef SRC_TCP_RTT_H_
+#define SRC_TCP_RTT_H_
+
+#include "src/util/time.h"
+
+namespace tas {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(TimeNs min_rto = Ms(1), TimeNs max_rto = Sec(60));
+
+  // Feeds one RTT measurement.
+  void AddSample(TimeNs rtt);
+
+  bool HasSample() const { return has_sample_; }
+  TimeNs srtt() const { return srtt_; }
+  TimeNs rttvar() const { return rttvar_; }
+
+  // Current retransmission timeout: srtt + 4*rttvar, clamped, with
+  // exponential backoff applied per RFC 6298 §5.
+  TimeNs Rto() const;
+
+  // Doubles the timeout after an expiry ("timer backoff").
+  void Backoff();
+  // Resets backoff after new data is acknowledged.
+  void ResetBackoff() { backoff_shift_ = 0; }
+
+ private:
+  TimeNs min_rto_;
+  TimeNs max_rto_;
+  bool has_sample_ = false;
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  int backoff_shift_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TCP_RTT_H_

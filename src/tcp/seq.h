@@ -1,0 +1,37 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 modular comparisons) and
+// unwrapping into 64-bit stream offsets.
+//
+// Protocol state in this codebase is kept in unwrapped 64-bit stream offsets
+// (bytes since the SYN), which removes wraparound hazards from buffer and
+// reassembly logic; the wire carries 32-bit sequence numbers derived from an
+// initial sequence number (ISN) base. Unwrap() recovers the 64-bit offset of
+// an incoming 32-bit sequence relative to the connection's current position.
+#ifndef SRC_TCP_SEQ_H_
+#define SRC_TCP_SEQ_H_
+
+#include <cstdint>
+
+namespace tas {
+
+// True if a < b in 32-bit wrap-around sequence space.
+constexpr bool SeqLt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) < 0; }
+constexpr bool SeqLe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <= 0; }
+constexpr bool SeqGt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) > 0; }
+constexpr bool SeqGe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) >= 0; }
+
+// Wire sequence for a 64-bit stream offset, given the connection's ISN.
+constexpr uint32_t WrapSeq(uint32_t isn, uint64_t offset) {
+  return isn + static_cast<uint32_t>(offset);
+}
+
+// Recovers the 64-bit stream offset of wire sequence `seq`, given the ISN
+// and a reference offset the value is known to be near (within +/- 2^31).
+constexpr uint64_t UnwrapSeq(uint32_t isn, uint32_t seq, uint64_t near_offset) {
+  const uint32_t expected_wire = WrapSeq(isn, near_offset);
+  const int32_t delta = static_cast<int32_t>(seq - expected_wire);
+  return near_offset + static_cast<uint64_t>(static_cast<int64_t>(delta));
+}
+
+}  // namespace tas
+
+#endif  // SRC_TCP_SEQ_H_

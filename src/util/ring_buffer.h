@@ -1,0 +1,70 @@
+// Fixed-capacity circular byte buffer.
+//
+// This is the building block for the per-flow RX/TX payload buffers of
+// paper §3.1 (rx|tx_start/size/head/tail in Table 3): a contiguous region
+// written at `head` and consumed at `tail`, with wraparound. Positions are
+// monotonically increasing 64-bit stream offsets; the mapping to the backing
+// array is offset % capacity, so callers can reason in stream space.
+#ifndef SRC_UTIL_RING_BUFFER_H_
+#define SRC_UTIL_RING_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace tas {
+
+class ByteRing {
+ public:
+  explicit ByteRing(size_t capacity);
+
+  size_t capacity() const { return data_.size(); }
+  // Bytes currently stored (head - tail).
+  size_t used() const { return static_cast<size_t>(head_ - tail_); }
+  size_t free_space() const { return capacity() - used(); }
+  bool empty() const { return head_ == tail_; }
+
+  // Stream offset of the next byte to be written / read.
+  uint64_t head() const { return head_; }
+  uint64_t tail() const { return tail_; }
+
+  // Appends up to `len` bytes at head; returns the number written.
+  size_t Write(const uint8_t* src, size_t len);
+
+  // Writes `len` bytes at an absolute stream offset >= tail without moving
+  // head past `offset + len` unless needed. Used for out-of-order arrival
+  // placement into the RX buffer. Returns false if the range does not fit
+  // within [tail, tail + capacity).
+  bool WriteAt(uint64_t offset, const uint8_t* src, size_t len);
+
+  // Advances head to `offset` (must be within capacity of tail); bytes in
+  // [old_head, offset) must have been placed by WriteAt beforehand.
+  void AdvanceHead(uint64_t offset);
+
+  // Copies up to `len` bytes from tail into `dst` and consumes them;
+  // returns the number read.
+  size_t Read(uint8_t* dst, size_t len);
+
+  // Copies up to `len` bytes starting at absolute offset (>= tail) without
+  // consuming. Returns bytes copied (0 if offset >= head).
+  size_t Peek(uint64_t offset, uint8_t* dst, size_t len) const;
+
+  // Drops `len` bytes from the tail without copying (transmit buffer space
+  // reclamation on ACK, §3.1).
+  void Discard(size_t len);
+
+  // Resets to empty with head = tail = 0.
+  void Clear();
+
+ private:
+  void CopyIn(uint64_t offset, const uint8_t* src, size_t len);
+  void CopyOut(uint64_t offset, uint8_t* dst, size_t len) const;
+
+  std::vector<uint8_t> data_;
+  uint64_t head_ = 0;  // Next write position (stream offset).
+  uint64_t tail_ = 0;  // Next read position (stream offset).
+};
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_RING_BUFFER_H_

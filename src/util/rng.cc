@@ -1,0 +1,120 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tas {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  TAS_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TAS_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExp(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+BoundedPareto::BoundedPareto(double min, double max, double alpha)
+    : min_(min), max_(max), alpha_(alpha) {
+  TAS_CHECK(min > 0 && max > min && alpha > 0);
+}
+
+double BoundedPareto::Sample(Rng& rng) const {
+  // Inverse-CDF of the bounded Pareto.
+  const double u = rng.NextDouble();
+  const double la = std::pow(min_, alpha_);
+  const double ha = std::pow(max_, alpha_);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha_);
+}
+
+double BoundedPareto::Mean() const {
+  if (alpha_ == 1.0) {
+    return min_ * max_ / (max_ - min_) * std::log(max_ / min_);
+  }
+  const double la = std::pow(min_, alpha_);
+  const double ratio = std::pow(min_ / max_, alpha_);
+  return la / (1.0 - ratio) * (alpha_ / (alpha_ - 1.0)) *
+         (1.0 / std::pow(min_, alpha_ - 1.0) - 1.0 / std::pow(max_, alpha_ - 1.0));
+}
+
+ZipfDist::ZipfDist(size_t n, double s) {
+  TAS_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) {
+    c /= sum;
+  }
+}
+
+size_t ZipfDist::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace tas

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation and the workload
+// distributions used by the paper's experiments.
+//
+// The generator is xoshiro256**, seeded by splitmix64, so every experiment is
+// reproducible from its seed. Distributions: uniform, exponential (Poisson
+// arrivals), bounded Pareto (flow sizes, Fig 11), and Zipf (key popularity in
+// the key-value store workload, s = 0.9 per the paper).
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tas {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n);
+
+  // Uniform in [lo, hi] (inclusive).
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean.
+  double NextExp(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Bounded Pareto distribution over [min, max] with shape alpha.
+// Used to draw heavy-tailed flow sizes for the congestion experiments.
+class BoundedPareto {
+ public:
+  BoundedPareto(double min, double max, double alpha);
+
+  double Sample(Rng& rng) const;
+  double Mean() const;
+
+ private:
+  double min_;
+  double max_;
+  double alpha_;
+};
+
+// Zipf distribution over {0, ..., n-1} with skew s, sampled in O(log n) via
+// a precomputed CDF. Matches the paper's KV workload (zipf, s = 0.9).
+class ZipfDist {
+ public:
+  ZipfDist(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_RNG_H_

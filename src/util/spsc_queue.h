@@ -1,0 +1,92 @@
+// Bounded single-producer/single-consumer queue.
+//
+// TAS connects its components with "shared memory queues, optimized for
+// cache-efficient message passing" (paper §3, citing Barrelfish). This is a
+// classic Lamport ring with head/tail indices on separate cache lines so a
+// producer thread and a consumer thread never contend on the same line.
+// The simulator runs single-threaded, but the structure is a faithful,
+// thread-safe implementation and is exercised multi-threaded in tests and
+// microbenchmarks.
+#ifndef SRC_UTIL_SPSC_QUEUE_H_
+#define SRC_UTIL_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace tas {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two; one slot is reserved to
+  // distinguish full from empty.
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity + 1) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  // Producer side. Returns false if the queue is full.
+  bool Push(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt if the queue is empty.
+  std::optional<T> Pop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer side peek without consuming.
+  const T* Front() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    return &slots_[tail];
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_SPSC_QUEUE_H_

@@ -1,0 +1,46 @@
+// Simulation time types and conversions.
+//
+// All simulation timestamps are signed 64-bit nanosecond counts from the
+// start of the simulation. Cycle<->time conversion is parameterized by core
+// frequency so that experiments can model the paper's 2.1 GHz server and
+// 2.2 GHz client machines.
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace tas {
+
+// Nanoseconds of simulated time.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr TimeNs Us(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Ms(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Sec(int64_t s) { return s * kNsPerSec; }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+// Converts a CPU cycle count to nanoseconds at the given core frequency.
+constexpr TimeNs CyclesToNs(uint64_t cycles, double ghz) {
+  return static_cast<TimeNs>(static_cast<double>(cycles) / ghz);
+}
+
+// Converts a duration to CPU cycles at the given core frequency.
+constexpr uint64_t NsToCycles(TimeNs ns, double ghz) {
+  return static_cast<uint64_t>(static_cast<double>(ns) * ghz);
+}
+
+// Time to serialize `bytes` onto a link of `gbps` gigabits per second.
+constexpr TimeNs TransmitTimeNs(uint64_t bytes, double gbps) {
+  return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_TIME_H_

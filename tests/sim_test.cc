@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace tas {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] {
+    ++fired;
+    sim.After(5, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 15);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] { ++fired; });
+  sim.At(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle = sim.At(10, [&] { ++fired; });
+  sim.At(5, [&] { handle.Cancel(); });
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(20, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, SchedulingInPastIsFatal) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(50, [] {}), "Check failed");
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, 10, [&] { ++fired; });
+  task.Start();
+  sim.RunUntil(95);
+  EXPECT_EQ(fired, 9);
+  task.Stop();
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 9);
+}
+
+TEST(PeriodicTaskTest, StopInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, 10, [&] {
+    if (++fired == 3) {
+      // Stopping from within the callback must not reschedule.
+      sim.Stop();
+    }
+  });
+  task.Start();
+  sim.RunUntil(1000);
+  task.Stop();
+  sim.RunUntil(2000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 42; ++i) {
+    sim.At(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 42u);
+}
+
+}  // namespace
+}  // namespace tas

@@ -1,0 +1,267 @@
+// Unit and component tests for TAS internals: per-flow state and buffers,
+// the service's flow table and port allocator, context queues, the core
+// scaler, and rate enforcement.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/app/bulk.h"
+#include "src/app/rpc_echo.h"
+#include "src/harness/experiment.h"
+#include "src/shm/context_queue.h"
+#include "src/tas/slow_path.h"
+
+namespace tas {
+namespace {
+
+TEST(FlowBufferTest, AppWriteReadRoundTrip) {
+  Flow flow;
+  flow.rx_mem.resize(1024);
+  flow.tx_mem.resize(1024);
+  flow.fs.rx_base = flow.rx_mem.data();
+  flow.fs.tx_base = flow.tx_mem.data();
+  flow.fs.rx_size = 1024;
+  flow.fs.tx_size = 1024;
+
+  uint8_t data[300];
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(flow.AppWriteTx(data, 300), 300u);
+  EXPECT_EQ(flow.TxQueued(), 300u);
+  EXPECT_EQ(flow.TxAvailable(), 300u);
+
+  uint8_t out[300];
+  flow.CopyFromTx(flow.fs.tx_tail, out, 300);
+  EXPECT_EQ(std::memcmp(data, out, 300), 0);
+}
+
+TEST(FlowBufferTest, WirePositionWrapAround) {
+  // Positions are free-running wire sequences: verify modular indexing.
+  Flow flow;
+  flow.rx_mem.resize(256);
+  flow.fs.rx_base = flow.rx_mem.data();
+  flow.fs.rx_size = 256;
+  const uint32_t base = 0xFFFFFF80u;  // Near the 32-bit wrap.
+  flow.fs.rx_head = base;
+  flow.fs.rx_tail = base;
+  uint8_t data[200];
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = static_cast<uint8_t>(i * 3);
+  }
+  flow.CopyIntoRx(base, data, 200);  // Crosses the wrap.
+  flow.fs.rx_head += 200;
+  uint8_t out[200];
+  EXPECT_EQ(flow.AppReadRx(out, 200), 200u);
+  EXPECT_EQ(std::memcmp(data, out, 200), 0);
+  EXPECT_EQ(flow.fs.rx_tail, base + 200);  // Wrapped past zero.
+}
+
+TEST(FlowBufferTest, TxWriteRespectsCapacity) {
+  Flow flow;
+  flow.tx_mem.resize(128);
+  flow.fs.tx_base = flow.tx_mem.data();
+  flow.fs.tx_size = 128;
+  uint8_t data[200] = {};
+  EXPECT_EQ(flow.AppWriteTx(data, 200), 128u);
+  EXPECT_EQ(flow.AppWriteTx(data, 10), 0u);  // Full.
+}
+
+TEST(FlowBufferTest, TokenBucketRefills) {
+  Flow flow;
+  flow.rate_bps = 8e9;  // 1 byte per ns.
+  flow.tx_tokens = 0;
+  flow.tokens_updated = 0;
+  EXPECT_NEAR(flow.RefillTokens(1000, 1e9), 1000.0, 1.0);
+  flow.tx_tokens = 0;
+  // Burst cap limits accumulation over long idle.
+  EXPECT_NEAR(flow.RefillTokens(1000000, 2896), 2896.0, 1.0);
+}
+
+TEST(ContextQueueTest, NotifyOnlyOnEmptyToNonEmpty) {
+  AppContext ctx(16);
+  int notifications = 0;
+  ctx.set_app_notify([&] { ++notifications; });
+  ctx.PushEvent(AppEvent{AppEventType::kRxData, 1, 10});
+  ctx.PushEvent(AppEvent{AppEventType::kRxData, 1, 10});
+  EXPECT_EQ(notifications, 1);
+  ctx.rx().Pop();
+  ctx.rx().Pop();
+  ctx.PushEvent(AppEvent{AppEventType::kRxData, 1, 10});
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(ContextQueueTest, FullQueueCountsDrops) {
+  AppContext ctx(2);
+  size_t accepted = 0;
+  while (ctx.PushEvent(AppEvent{})) {
+    ++accepted;
+    if (accepted > 100) {
+      FAIL() << "queue never filled";
+    }
+  }
+  EXPECT_GT(ctx.dropped_events(), 0u);
+}
+
+TEST(ContextQueueTest, CommandNotifyFiresFastpathHook) {
+  AppContext ctx(16);
+  int kicks = 0;
+  ctx.set_fastpath_notify([&] { ++kicks; });
+  ctx.PushCommand(TxCommand{TxCommandType::kSend, 1, 100});
+  ctx.PushCommand(TxCommand{TxCommandType::kSend, 1, 100});
+  EXPECT_EQ(kicks, 1);  // Second push: queue already non-empty.
+}
+
+class TasServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HostSpec spec;
+    spec.stack = StackKind::kTas;
+    spec.stack_cores = 4;
+    LinkConfig link;
+    exp_ = Experiment::PointToPoint(spec, spec, link);
+    service_ = exp_->host(0).tas();
+  }
+  std::unique_ptr<Experiment> exp_;
+  TasService* service_ = nullptr;
+};
+
+TEST_F(TasServiceFixture, FlowAllocationAndLookup) {
+  const FlowKey key{80, MakeIp(10, 0, 0, 2), 5555};
+  const FlowId id = service_->AllocateFlow(key);
+  EXPECT_NE(id, kInvalidFlow);
+  EXPECT_EQ(service_->LookupFlowId(key), id);
+  EXPECT_EQ(service_->num_flows(), 1u);
+
+  Flow* flow = service_->flow_by_id(id);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->fs.rx_size, service_->config().rx_buffer_bytes);
+  // Transmit positions anchored at iss+1 with nothing outstanding.
+  EXPECT_EQ(flow->fs.seq, flow->fs.tx_tail);
+  EXPECT_EQ(flow->fs.tx_sent, 0u);
+
+  service_->FreeFlow(id);
+  EXPECT_EQ(service_->LookupFlowId(key), kInvalidFlow);
+  EXPECT_EQ(service_->num_flows(), 0u);
+  EXPECT_EQ(service_->flow_by_id(id), nullptr);
+}
+
+TEST_F(TasServiceFixture, EphemeralPortsUniqueWhileInUse) {
+  std::set<uint16_t> ports;
+  for (int i = 0; i < 100; ++i) {
+    const uint16_t port = service_->AllocateEphemeralPort();
+    EXPECT_TRUE(ports.insert(port).second) << "port reused while free";
+    service_->AllocateFlow(FlowKey{port, MakeIp(10, 0, 0, 2), 1000});
+  }
+}
+
+TEST_F(TasServiceFixture, CoreForFlowStableAndInActiveRange) {
+  for (int i = 0; i < 64; ++i) {
+    const FlowKey key{static_cast<uint16_t>(2000 + i), MakeIp(10, 0, 0, 2),
+                      static_cast<uint16_t>(3000 + i)};
+    const FlowId id = service_->AllocateFlow(key);
+    Flow* flow = service_->flow_by_id(id);
+    flow->fs.local_port = key.local_port;
+    flow->fs.peer_ip = key.peer_ip;
+    flow->fs.peer_port = key.peer_port;
+    const int core = service_->CoreForFlow(*flow);
+    EXPECT_GE(core, 0);
+    EXPECT_LT(core, service_->active_cores());
+    EXPECT_EQ(core, service_->CoreForFlow(*flow));  // Deterministic.
+  }
+}
+
+TEST_F(TasServiceFixture, SetActiveCoresRestersAndRecordsTrace) {
+  service_->SetActiveCores(2);
+  EXPECT_EQ(service_->active_cores(), 2);
+  service_->SetActiveCores(4);
+  service_->SetActiveCores(1);
+  const auto& trace = service_->core_trace();
+  ASSERT_GE(trace.size(), 4u);
+  EXPECT_EQ(trace.back().second, 1);
+  // All RSS entries now point at queue 0.
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(service_->nic()->RedirectionEntryQueue(i), 0);
+  }
+}
+
+TEST(TasScalerTest, CoresGrowUnderLoadAndShrinkWhenIdle) {
+  HostSpec server_spec;
+  server_spec.stack = StackKind::kTas;
+  server_spec.app_cores = 4;
+  server_spec.tas_overridden = true;
+  server_spec.tas.max_fastpath_cores = 4;
+  server_spec.tas.dynamic_cores = true;
+  server_spec.tas.monitor_interval = Ms(1);
+  HostSpec client_spec;
+  client_spec.stack = StackKind::kIx;
+  client_spec.app_cores = 4;
+  client_spec.engine_overridden = true;
+  client_spec.engine = IxStackConfig();
+  client_spec.engine.costs = &MinimalCostModel();
+  LinkConfig link;
+  link.gbps = 40.0;
+  auto exp = Experiment::PointToPoint(server_spec, client_spec, link);
+
+  EchoServerConfig sc;
+  EchoServer server(&exp->sim(), exp->host(0).stack(), sc);
+  server.Start();
+  EchoClientConfig cc;
+  cc.server_ip = exp->host(0).ip();
+  cc.num_connections = 128;
+  cc.pipeline_depth = 8;
+  EchoClient client(&exp->sim(), exp->host(1).stack(), cc);
+  client.Start();
+
+  EXPECT_EQ(exp->host(0).tas()->active_cores(), 1);  // Dynamic start: 1 core.
+  exp->sim().RunUntil(Ms(100));
+  const int under_load = exp->host(0).tas()->active_cores();
+  EXPECT_GT(under_load, 1) << "scaler never added cores under load";
+
+  // Stop the load; cores must be released.
+  exp->host(1).stack()->SetHandler(nullptr);
+  exp->sim().RunUntil(Ms(400));
+  EXPECT_EQ(exp->host(0).tas()->active_cores(), 1)
+      << "scaler failed to release idle cores";
+}
+
+TEST(TasRateTest, FastPathEnforcesSlowPathRate) {
+  // Cap one flow's rate via the CC floor and verify goodput obeys it.
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  spec.tas_overridden = true;
+  spec.tas.max_fastpath_cores = 2;
+  spec.tas.dctcp.max_bps = 50e6;  // Hard policy cap: 50 Mbps.
+  spec.tas.dctcp.initial_bps = 50e6;
+  auto exp = Experiment::PointToPoint(spec, spec, LinkConfig{});
+
+  BulkReceiver rx(&exp->sim(), exp->host(0).stack(), BulkReceiverConfig{});
+  rx.Start();
+  BulkSenderConfig sc;
+  sc.server_ip = exp->host(0).ip();
+  sc.num_flows = 1;
+  BulkSender tx(&exp->sim(), exp->host(1).stack(), sc);
+  tx.Start();
+  exp->sim().RunUntil(Ms(20));
+  rx.BeginMeasurement();
+  exp->sim().RunUntil(Ms(120));
+  // Policy enforced on the fast path: goodput stays near the 50 Mbps cap
+  // even though the link is 10G.
+  EXPECT_LT(rx.ThroughputBps(), 80e6);
+  EXPECT_GT(rx.ThroughputBps(), 20e6);
+}
+
+TEST(TasStateTest, BucketHelpersRoundTrip) {
+  FlowState fs;
+  SetBucket(fs, 0x123456);
+  EXPECT_EQ(BucketOf(fs), 0x123456u);
+  SetPeerWindowBytes(fs, 65536);
+  EXPECT_EQ(PeerWindowBytes(fs), 65536u);
+  // Saturation at the 16-bit granule limit.
+  SetPeerWindowBytes(fs, 1ull << 40);
+  EXPECT_EQ(fs.window, 0xFFFF);
+}
+
+}  // namespace
+}  // namespace tas

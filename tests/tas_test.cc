@@ -1,0 +1,286 @@
+// Integration tests for TAS itself: slow-path connection control, fast-path
+// data transfer, out-of-order handling, loss recovery, interoperability with
+// the Linux baseline stack (paper Table 4), and workload proportionality.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/tas/slow_path.h"
+
+namespace tas {
+namespace {
+
+LinkConfig TestLink(double drop_rate = 0.0) {
+  LinkConfig link;
+  link.gbps = 10.0;
+  link.propagation_delay = Us(2);
+  link.queue_limit_pkts = 256;
+  link.drop_rate = drop_rate;
+  return link;
+}
+
+class RecordingServer : public AppHandler {
+ public:
+  RecordingServer(Stack* stack, uint16_t port) : stack_(stack), port_(port) {}
+  void Start() {
+    stack_->SetHandler(this);
+    stack_->Listen(port_);
+  }
+  void OnAccepted(ConnId conn, uint16_t) override { accepted_.push_back(conn); }
+  void OnData(ConnId conn, size_t bytes) override {
+    std::vector<uint8_t> buf(bytes);
+    const size_t n = stack_->Recv(conn, buf.data(), bytes);
+    per_conn_[conn].insert(per_conn_[conn].end(), buf.begin(),
+                           buf.begin() + static_cast<long>(n));
+    received_ += n;
+  }
+  void OnRemoteClosed(ConnId conn) override {
+    remote_closed_++;
+    stack_->Close(conn);
+  }
+  void OnClosed(ConnId) override { fully_closed_++; }
+
+  Stack* stack_;
+  uint16_t port_;
+  std::vector<ConnId> accepted_;
+  std::map<ConnId, std::vector<uint8_t>> per_conn_;
+  size_t received_ = 0;
+  int remote_closed_ = 0;
+  int fully_closed_ = 0;
+};
+
+class PatternClient : public AppHandler {
+ public:
+  PatternClient(Stack* stack, IpAddr server, uint16_t port, size_t total,
+                size_t num_conns = 1)
+      : stack_(stack), server_(server), port_(port), total_(total), num_conns_(num_conns) {}
+  void Start() {
+    stack_->SetHandler(this);
+    for (size_t i = 0; i < num_conns_; ++i) {
+      ConnId id = stack_->Connect(server_, port_);
+      progress_[id] = Progress{};
+    }
+  }
+  void OnConnected(ConnId conn, bool success) override {
+    if (!success) {
+      ++failures_;
+      return;
+    }
+    ++connected_;
+    Pump(conn);
+  }
+  void OnSendSpace(ConnId conn, size_t bytes) override {
+    auto it = progress_.find(conn);
+    if (it == progress_.end()) {
+      return;
+    }
+    it->second.acked += bytes;
+    Pump(conn);
+    if (it->second.sent >= total_ && it->second.acked >= total_ && !it->second.closed) {
+      it->second.closed = true;
+      stack_->Close(conn);
+    }
+  }
+  void OnClosed(ConnId) override { ++fully_closed_; }
+
+  void Pump(ConnId conn) {
+    Progress& p = progress_[conn];
+    while (p.sent < total_) {
+      uint8_t chunk[997];
+      const size_t want = std::min(sizeof(chunk), total_ - p.sent);
+      for (size_t i = 0; i < want; ++i) {
+        chunk[i] = static_cast<uint8_t>((p.sent + i) % 251);
+      }
+      const size_t n = stack_->Send(conn, chunk, want);
+      p.sent += n;
+      if (n < want) {
+        break;
+      }
+    }
+  }
+
+  struct Progress {
+    size_t sent = 0;
+    size_t acked = 0;
+    bool closed = false;
+  };
+  Stack* stack_;
+  IpAddr server_;
+  uint16_t port_;
+  size_t total_;
+  size_t num_conns_;
+  std::map<ConnId, Progress> progress_;
+  int connected_ = 0;
+  int failures_ = 0;
+  int fully_closed_ = 0;
+};
+
+void ExpectPattern(const std::vector<uint8_t>& data, size_t total) {
+  ASSERT_EQ(data.size(), total);
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(data[i], static_cast<uint8_t>(i % 251)) << "at offset " << i;
+  }
+}
+
+struct StackPair {
+  StackKind server;
+  StackKind client;
+};
+
+class TransferMatrixTest : public ::testing::TestWithParam<StackPair> {};
+
+// The Table 4 compatibility property: every combination of TAS and Linux
+// endpoints (and TAS LL) moves an intact byte stream and tears down cleanly.
+TEST_P(TransferMatrixTest, IntactTransfer) {
+  HostSpec server_spec;
+  server_spec.stack = GetParam().server;
+  HostSpec client_spec;
+  client_spec.stack = GetParam().client;
+  auto exp = Experiment::PointToPoint(server_spec, client_spec, TestLink());
+
+  RecordingServer server(exp->host(0).stack(), 7000);
+  constexpr size_t kTotal = 150000;
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, kTotal);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(5));
+
+  EXPECT_EQ(client.connected_, 1);
+  ASSERT_EQ(server.accepted_.size(), 1u);
+  ExpectPattern(server.per_conn_.begin()->second, kTotal);
+  EXPECT_EQ(server.remote_closed_, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TransferMatrixTest,
+    ::testing::Values(StackPair{StackKind::kTas, StackKind::kTas},
+                      StackPair{StackKind::kTas, StackKind::kLinux},
+                      StackPair{StackKind::kLinux, StackKind::kTas},
+                      StackPair{StackKind::kTasLowLevel, StackKind::kTasLowLevel},
+                      StackPair{StackKind::kTas, StackKind::kIx},
+                      StackPair{StackKind::kIx, StackKind::kTas}));
+
+class TasLossTest : public ::testing::TestWithParam<int> {};
+
+// TAS's simplified recovery (one OOO interval + dupack fast recovery +
+// slow-path timeouts) must still deliver the stream intact under loss.
+TEST_P(TasLossTest, RecoversUnderRandomLoss) {
+  const double drop_rate = GetParam() / 100.0;
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink(drop_rate));
+
+  RecordingServer server(exp->host(0).stack(), 7000);
+  constexpr size_t kTotal = 80000;
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, kTotal);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(30));
+
+  ASSERT_EQ(server.per_conn_.size(), 1u);
+  ExpectPattern(server.per_conn_.begin()->second, kTotal);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TasLossTest, ::testing::Values(1, 2, 5));
+
+TEST(TasLossTest, GoBackNModeAlsoRecovers) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  spec.tas_overridden = true;
+  spec.tas.ooo_mode = OooMode::kGoBackN;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink(0.02));
+
+  RecordingServer server(exp->host(0).stack(), 7000);
+  constexpr size_t kTotal = 50000;
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, kTotal);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(30));
+
+  ASSERT_EQ(server.per_conn_.size(), 1u);
+  ExpectPattern(server.per_conn_.begin()->second, kTotal);
+}
+
+TEST(TasTest, ManyConnectionsSpreadAcrossCoresAndTransfer) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  spec.stack_cores = 4;
+  spec.app_cores = 2;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+
+  RecordingServer server(exp->host(0).stack(), 7000);
+  constexpr size_t kPerConn = 20000;
+  constexpr size_t kConns = 24;
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, kPerConn, kConns);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(10));
+
+  EXPECT_EQ(client.connected_, static_cast<int>(kConns));
+  ASSERT_EQ(server.per_conn_.size(), kConns);
+  for (const auto& [conn, data] : server.per_conn_) {
+    ExpectPattern(data, kPerConn);
+  }
+  // Work should have landed on more than one fast-path core.
+  TasService* tas = exp->host(0).tas();
+  int cores_used = 0;
+  for (int i = 0; i < tas->max_cores(); ++i) {
+    if (tas->fastpath_cpu(i)->total_cycles() > 0) {
+      ++cores_used;
+    }
+  }
+  EXPECT_GT(cores_used, 1);
+}
+
+TEST(TasTest, ConnectToClosedPortFails) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 4444, 100);
+  client.Start();
+  exp->sim().RunUntil(Sec(10));
+  EXPECT_EQ(client.connected_, 0);
+  EXPECT_EQ(client.failures_, 1);
+}
+
+TEST(TasTest, FlowStateSizeMatchesPaper) {
+  EXPECT_EQ(sizeof(FlowState), 103u);  // Paper: 102 B (4-bit dupack packed).
+}
+
+TEST(TasTest, StatsAccounted) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+  RecordingServer server(exp->host(0).stack(), 7000);
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, 100000);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(5));
+
+  const TasStats& server_stats = exp->host(0).tas()->stats();
+  EXPECT_GT(server_stats.fastpath_rx_packets, 50u);
+  EXPECT_GT(server_stats.fastpath_acks_sent, 50u);
+  EXPECT_GT(server_stats.connections_established, 0u);
+  EXPECT_EQ(server_stats.rx_buffer_drops, 0u);
+  const TasStats& client_stats = exp->host(1).tas()->stats();
+  EXPECT_GT(client_stats.fastpath_tx_packets, 50u);
+}
+
+TEST(TasTest, SlowPathHandlesExceptionsOnly) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  auto exp = Experiment::PointToPoint(spec, spec, TestLink());
+  RecordingServer server(exp->host(0).stack(), 7000);
+  PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, 200000);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(5));
+
+  const TasStats& stats = exp->host(0).tas()->stats();
+  // The slow path saw only the handshake/teardown, not the data packets.
+  EXPECT_LT(stats.slowpath_packets, 10u);
+  EXPECT_GT(stats.fastpath_rx_packets, 100u);
+}
+
+}  // namespace
+}  // namespace tas

@@ -1,0 +1,350 @@
+// Unit tests for src/util: RNG and distributions, statistics, the circular
+// byte buffer, the SPSC queue, and the log histogram.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "src/util/logging.h"
+#include "src/util/ring_buffer.h"
+#include "src/util/rng.h"
+#include "src/util/spsc_queue.h"
+#include "src/util/stats.h"
+
+namespace tas {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExp(42.0);
+  }
+  EXPECT_NEAR(sum / n, 42.0, 1.0);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    heads += rng.NextBool(0.9) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.9, 0.01);
+}
+
+TEST(ParetoTest, BoundsRespected) {
+  Rng rng(19);
+  BoundedPareto pareto(100, 10000, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = pareto.Sample(rng);
+    EXPECT_GE(v, 100.0);
+    EXPECT_LE(v, 10000.0);
+  }
+}
+
+TEST(ParetoTest, EmpiricalMeanMatchesAnalytic) {
+  Rng rng(23);
+  BoundedPareto pareto(1448, 2e6, 1.05);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += pareto.Sample(rng);
+  }
+  const double empirical = sum / n;
+  EXPECT_NEAR(empirical / pareto.Mean(), 1.0, 0.05);
+}
+
+TEST(ZipfTest, SkewOrdersPopularity) {
+  Rng rng(29);
+  ZipfDist zipf(1000, 0.9);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  // Rank 0 must dominate rank 100 which must dominate rank 900.
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[100], counts[900]);
+  // Zipf s=0.9: ratio of rank0 to rank9 ~ 10^0.9 ~ 7.9.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 7.9, 2.5);
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);  // Sample stddev.
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Add(i);
+  }
+  EXPECT_NEAR(rec.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(rec.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(rec.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(rec.Percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(rec.Mean(), 50.5, 1e-9);
+}
+
+TEST(LatencyRecorderTest, ReservoirBounded) {
+  LatencyRecorder rec(1000);
+  for (int i = 0; i < 100000; ++i) {
+    rec.Add(i % 100);
+  }
+  EXPECT_EQ(rec.count(), 100000u);
+  // Percentiles still roughly correct from the reservoir.
+  EXPECT_NEAR(rec.Median(), 50, 10);
+}
+
+TEST(LatencyRecorderTest, CdfMonotone) {
+  LatencyRecorder rec;
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) {
+    rec.Add(rng.NextExp(10));
+  }
+  auto cdf = rec.Cdf(100);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(ByteRingTest, BasicWriteRead) {
+  ByteRing ring(16);
+  const uint8_t data[] = "hello";
+  EXPECT_EQ(ring.Write(data, 5), 5u);
+  EXPECT_EQ(ring.used(), 5u);
+  uint8_t out[8] = {};
+  EXPECT_EQ(ring.Read(out, 8), 5u);
+  EXPECT_EQ(std::memcmp(out, "hello", 5), 0);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRingTest, WrapAround) {
+  ByteRing ring(8);
+  uint8_t buf[6] = {1, 2, 3, 4, 5, 6};
+  ASSERT_EQ(ring.Write(buf, 6), 6u);
+  uint8_t out[6];
+  ASSERT_EQ(ring.Read(out, 4), 4u);
+  // Now head=6, tail=4; write 5 more wraps around the 8-byte array.
+  uint8_t buf2[5] = {7, 8, 9, 10, 11};
+  ASSERT_EQ(ring.Write(buf2, 5), 5u);
+  EXPECT_EQ(ring.used(), 7u);
+  uint8_t out2[7];
+  ASSERT_EQ(ring.Read(out2, 7), 7u);
+  const uint8_t expect[7] = {5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(std::memcmp(out2, expect, 7), 0);
+}
+
+TEST(ByteRingTest, WriteRespectsCapacity) {
+  ByteRing ring(4);
+  uint8_t buf[10] = {};
+  EXPECT_EQ(ring.Write(buf, 10), 4u);
+  EXPECT_EQ(ring.free_space(), 0u);
+  EXPECT_EQ(ring.Write(buf, 1), 0u);
+}
+
+TEST(ByteRingTest, WriteAtAndAdvanceHead) {
+  ByteRing ring(16);
+  const uint8_t a[] = {1, 2, 3, 4};
+  // Place out-of-order data at offset 8 without moving head.
+  ASSERT_TRUE(ring.WriteAt(8, a, 4));
+  EXPECT_EQ(ring.used(), 0u);
+  const uint8_t b[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(ring.WriteAt(0, b, 8));
+  ring.AdvanceHead(12);
+  EXPECT_EQ(ring.used(), 12u);
+  uint8_t out[12];
+  ASSERT_EQ(ring.Read(out, 12), 12u);
+  EXPECT_EQ(out[8], 1);
+  EXPECT_EQ(out[11], 4);
+}
+
+TEST(ByteRingTest, WriteAtRejectsOutOfWindow) {
+  ByteRing ring(16);
+  uint8_t a[4] = {};
+  EXPECT_FALSE(ring.WriteAt(14, a, 4));  // Ends beyond tail+capacity.
+  EXPECT_TRUE(ring.WriteAt(12, a, 4));
+}
+
+TEST(ByteRingTest, PeekAndDiscard) {
+  ByteRing ring(16);
+  const uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ring.Write(data, 8);
+  uint8_t out[4];
+  EXPECT_EQ(ring.Peek(2, out, 4), 4u);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(ring.used(), 8u);  // Peek does not consume.
+  ring.Discard(5);
+  EXPECT_EQ(ring.used(), 3u);
+  EXPECT_EQ(ring.Peek(5, out, 1), 1u);
+  EXPECT_EQ(out[0], 6);
+}
+
+TEST(ByteRingTest, LongStreamProperty) {
+  // Write/read random chunks; the read stream must equal the write stream.
+  ByteRing ring(64);
+  Rng rng(41);
+  std::vector<uint8_t> written;
+  std::vector<uint8_t> read;
+  uint8_t next = 0;
+  while (written.size() < 10000) {
+    const size_t w = rng.NextUint64(32) + 1;
+    std::vector<uint8_t> chunk(w);
+    for (auto& c : chunk) {
+      c = next++;
+    }
+    const size_t accepted = ring.Write(chunk.data(), w);
+    written.insert(written.end(), chunk.begin(), chunk.begin() + static_cast<long>(accepted));
+    next = static_cast<uint8_t>(chunk[0] + accepted);  // Rewind sequence.
+    uint8_t out[32];
+    const size_t r = ring.Read(out, rng.NextUint64(32) + 1);
+    read.insert(read.end(), out, out + r);
+  }
+  while (!ring.empty()) {
+    uint8_t out[32];
+    const size_t r = ring.Read(out, 32);
+    read.insert(read.end(), out, out + r);
+  }
+  ASSERT_EQ(written.size(), read.size());
+  EXPECT_EQ(written, read);
+}
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto v = queue.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(SpscQueueTest, FullRejects) {
+  SpscQueue<int> queue(4);
+  size_t pushed = 0;
+  while (queue.Push(1)) {
+    ++pushed;
+  }
+  EXPECT_GE(pushed, 4u);
+  EXPECT_FALSE(queue.Push(2));
+  queue.Pop();
+  EXPECT_TRUE(queue.Push(2));
+}
+
+TEST(SpscQueueTest, TwoThreadsTransferAll) {
+  SpscQueue<uint64_t> queue(1024);
+  constexpr uint64_t kCount = 200000;
+  uint64_t sum = 0;
+  std::thread consumer([&] {
+    uint64_t received = 0;
+    while (received < kCount) {
+      if (auto v = queue.Pop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (uint64_t i = 1; i <= kCount; ++i) {
+    while (!queue.Push(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(LogHistogramTest, PercentileBuckets) {
+  LogHistogram hist;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hist.Add(100);
+  }
+  hist.Add(100000);
+  EXPECT_EQ(hist.count(), 1001u);
+  EXPECT_LT(hist.ApproxPercentile(50), 256u);
+  EXPECT_GT(hist.ApproxPercentile(99.99), 60000u);
+}
+
+TEST(RateCounterTest, Rates) {
+  RateCounter counter;
+  counter.Start(0);
+  counter.Add(500);
+  counter.AddBytes(1000);
+  EXPECT_DOUBLE_EQ(counter.Rate(Sec(1)), 500.0);
+  EXPECT_DOUBLE_EQ(counter.BitRate(Sec(1)), 8000.0);
+}
+
+}  // namespace
+}  // namespace tas
