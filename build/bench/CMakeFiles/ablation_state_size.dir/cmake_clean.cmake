@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_size.dir/ablation_state_size.cc.o"
+  "CMakeFiles/ablation_state_size.dir/ablation_state_size.cc.o.d"
+  "ablation_state_size"
+  "ablation_state_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

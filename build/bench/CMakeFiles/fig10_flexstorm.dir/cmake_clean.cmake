@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_flexstorm.dir/fig10_flexstorm.cc.o"
+  "CMakeFiles/fig10_flexstorm.dir/fig10_flexstorm.cc.o.d"
+  "fig10_flexstorm"
+  "fig10_flexstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_flexstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

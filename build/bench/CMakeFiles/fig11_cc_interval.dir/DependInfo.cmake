@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_cc_interval.cc" "bench/CMakeFiles/fig11_cc_interval.dir/fig11_cc_interval.cc.o" "gcc" "bench/CMakeFiles/fig11_cc_interval.dir/fig11_cc_interval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tas_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/tas_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/libtas/CMakeFiles/tas_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/tas/CMakeFiles/tas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/tas_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tas_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/tas_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tas_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tas_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

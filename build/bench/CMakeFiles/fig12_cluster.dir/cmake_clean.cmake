@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cluster.dir/fig12_cluster.cc.o"
+  "CMakeFiles/fig12_cluster.dir/fig12_cluster.cc.o.d"
+  "fig12_cluster"
+  "fig12_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

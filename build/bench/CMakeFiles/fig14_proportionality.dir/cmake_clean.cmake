@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_proportionality.dir/fig14_proportionality.cc.o"
+  "CMakeFiles/fig14_proportionality.dir/fig14_proportionality.cc.o.d"
+  "fig14_proportionality"
+  "fig14_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

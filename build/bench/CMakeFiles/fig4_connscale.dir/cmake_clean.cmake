@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_connscale.dir/fig4_connscale.cc.o"
+  "CMakeFiles/fig4_connscale.dir/fig4_connscale.cc.o.d"
+  "fig4_connscale"
+  "fig4_connscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_connscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_shortlived.dir/fig5_shortlived.cc.o"
+  "CMakeFiles/fig5_shortlived.dir/fig5_shortlived.cc.o.d"
+  "fig5_shortlived"
+  "fig5_shortlived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_shortlived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

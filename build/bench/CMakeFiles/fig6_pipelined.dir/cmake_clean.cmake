@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pipelined.dir/fig6_pipelined.cc.o"
+  "CMakeFiles/fig6_pipelined.dir/fig6_pipelined.cc.o.d"
+  "fig6_pipelined"
+  "fig6_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

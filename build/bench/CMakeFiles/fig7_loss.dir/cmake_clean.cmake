@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_loss.dir/fig7_loss.cc.o"
+  "CMakeFiles/fig7_loss.dir/fig7_loss.cc.o.d"
+  "fig7_loss"
+  "fig7_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_compat.dir/table4_compat.cc.o"
+  "CMakeFiles/table4_compat.dir/table4_compat.cc.o.d"
+  "table4_compat"
+  "table4_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_nonscalable.dir/table7_nonscalable.cc.o"
+  "CMakeFiles/table7_nonscalable.dir/table7_nonscalable.cc.o.d"
+  "table7_nonscalable"
+  "table7_nonscalable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_nonscalable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cluster.dir/kv_cluster.cpp.o"
+  "CMakeFiles/kv_cluster.dir/kv_cluster.cpp.o.d"
+  "kv_cluster"
+  "kv_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

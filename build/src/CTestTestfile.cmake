@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("nic")
+subdirs("cpu")
+subdirs("shm")
+subdirs("cc")
+subdirs("tcp")
+subdirs("tas")
+subdirs("baseline")
+subdirs("libtas")
+subdirs("app")
+subdirs("harness")

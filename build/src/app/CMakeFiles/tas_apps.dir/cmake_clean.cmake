@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_apps.dir/bulk.cc.o"
+  "CMakeFiles/tas_apps.dir/bulk.cc.o.d"
+  "CMakeFiles/tas_apps.dir/flexstorm.cc.o"
+  "CMakeFiles/tas_apps.dir/flexstorm.cc.o.d"
+  "CMakeFiles/tas_apps.dir/kv_store.cc.o"
+  "CMakeFiles/tas_apps.dir/kv_store.cc.o.d"
+  "CMakeFiles/tas_apps.dir/rpc_echo.cc.o"
+  "CMakeFiles/tas_apps.dir/rpc_echo.cc.o.d"
+  "libtas_apps.a"
+  "libtas_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtas_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_baseline.dir/engine_stack.cc.o"
+  "CMakeFiles/tas_baseline.dir/engine_stack.cc.o.d"
+  "libtas_baseline.a"
+  "libtas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

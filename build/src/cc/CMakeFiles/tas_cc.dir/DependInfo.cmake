@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/dctcp_rate.cc" "src/cc/CMakeFiles/tas_cc.dir/dctcp_rate.cc.o" "gcc" "src/cc/CMakeFiles/tas_cc.dir/dctcp_rate.cc.o.d"
+  "/root/repo/src/cc/dctcp_window.cc" "src/cc/CMakeFiles/tas_cc.dir/dctcp_window.cc.o" "gcc" "src/cc/CMakeFiles/tas_cc.dir/dctcp_window.cc.o.d"
+  "/root/repo/src/cc/newreno.cc" "src/cc/CMakeFiles/tas_cc.dir/newreno.cc.o" "gcc" "src/cc/CMakeFiles/tas_cc.dir/newreno.cc.o.d"
+  "/root/repo/src/cc/timely.cc" "src/cc/CMakeFiles/tas_cc.dir/timely.cc.o" "gcc" "src/cc/CMakeFiles/tas_cc.dir/timely.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

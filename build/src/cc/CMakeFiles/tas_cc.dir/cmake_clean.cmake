@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_cc.dir/dctcp_rate.cc.o"
+  "CMakeFiles/tas_cc.dir/dctcp_rate.cc.o.d"
+  "CMakeFiles/tas_cc.dir/dctcp_window.cc.o"
+  "CMakeFiles/tas_cc.dir/dctcp_window.cc.o.d"
+  "CMakeFiles/tas_cc.dir/newreno.cc.o"
+  "CMakeFiles/tas_cc.dir/newreno.cc.o.d"
+  "CMakeFiles/tas_cc.dir/timely.cc.o"
+  "CMakeFiles/tas_cc.dir/timely.cc.o.d"
+  "libtas_cc.a"
+  "libtas_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

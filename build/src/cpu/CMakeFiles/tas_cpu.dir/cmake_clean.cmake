@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_cpu.dir/core.cc.o"
+  "CMakeFiles/tas_cpu.dir/core.cc.o.d"
+  "CMakeFiles/tas_cpu.dir/cost_model.cc.o"
+  "CMakeFiles/tas_cpu.dir/cost_model.cc.o.d"
+  "libtas_cpu.a"
+  "libtas_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

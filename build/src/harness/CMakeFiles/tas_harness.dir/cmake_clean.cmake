@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_harness.dir/experiment.cc.o"
+  "CMakeFiles/tas_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/tas_harness.dir/flowgen.cc.o"
+  "CMakeFiles/tas_harness.dir/flowgen.cc.o.d"
+  "libtas_harness.a"
+  "libtas_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_api.dir/tas_stack.cc.o"
+  "CMakeFiles/tas_api.dir/tas_stack.cc.o.d"
+  "libtas_api.a"
+  "libtas_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_net.dir/link.cc.o"
+  "CMakeFiles/tas_net.dir/link.cc.o.d"
+  "CMakeFiles/tas_net.dir/packet.cc.o"
+  "CMakeFiles/tas_net.dir/packet.cc.o.d"
+  "CMakeFiles/tas_net.dir/pcap.cc.o"
+  "CMakeFiles/tas_net.dir/pcap.cc.o.d"
+  "CMakeFiles/tas_net.dir/switch.cc.o"
+  "CMakeFiles/tas_net.dir/switch.cc.o.d"
+  "CMakeFiles/tas_net.dir/topology.cc.o"
+  "CMakeFiles/tas_net.dir/topology.cc.o.d"
+  "libtas_net.a"
+  "libtas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

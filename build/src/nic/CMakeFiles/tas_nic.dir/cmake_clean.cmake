@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_nic.dir/nic.cc.o"
+  "CMakeFiles/tas_nic.dir/nic.cc.o.d"
+  "libtas_nic.a"
+  "libtas_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_shm.dir/context_queue.cc.o"
+  "CMakeFiles/tas_shm.dir/context_queue.cc.o.d"
+  "libtas_shm.a"
+  "libtas_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_sim.dir/simulator.cc.o"
+  "CMakeFiles/tas_sim.dir/simulator.cc.o.d"
+  "libtas_sim.a"
+  "libtas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tas/fast_path.cc" "src/tas/CMakeFiles/tas_core.dir/fast_path.cc.o" "gcc" "src/tas/CMakeFiles/tas_core.dir/fast_path.cc.o.d"
+  "/root/repo/src/tas/flow.cc" "src/tas/CMakeFiles/tas_core.dir/flow.cc.o" "gcc" "src/tas/CMakeFiles/tas_core.dir/flow.cc.o.d"
+  "/root/repo/src/tas/service.cc" "src/tas/CMakeFiles/tas_core.dir/service.cc.o" "gcc" "src/tas/CMakeFiles/tas_core.dir/service.cc.o.d"
+  "/root/repo/src/tas/slow_path.cc" "src/tas/CMakeFiles/tas_core.dir/slow_path.cc.o" "gcc" "src/tas/CMakeFiles/tas_core.dir/slow_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/tas_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/tas_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tas_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tas_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_core.dir/fast_path.cc.o"
+  "CMakeFiles/tas_core.dir/fast_path.cc.o.d"
+  "CMakeFiles/tas_core.dir/flow.cc.o"
+  "CMakeFiles/tas_core.dir/flow.cc.o.d"
+  "CMakeFiles/tas_core.dir/service.cc.o"
+  "CMakeFiles/tas_core.dir/service.cc.o.d"
+  "CMakeFiles/tas_core.dir/slow_path.cc.o"
+  "CMakeFiles/tas_core.dir/slow_path.cc.o.d"
+  "libtas_core.a"
+  "libtas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

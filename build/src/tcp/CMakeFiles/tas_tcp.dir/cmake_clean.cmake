@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_tcp.dir/engine.cc.o"
+  "CMakeFiles/tas_tcp.dir/engine.cc.o.d"
+  "CMakeFiles/tas_tcp.dir/reassembly.cc.o"
+  "CMakeFiles/tas_tcp.dir/reassembly.cc.o.d"
+  "CMakeFiles/tas_tcp.dir/rtt.cc.o"
+  "CMakeFiles/tas_tcp.dir/rtt.cc.o.d"
+  "libtas_tcp.a"
+  "libtas_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_util.dir/logging.cc.o"
+  "CMakeFiles/tas_util.dir/logging.cc.o.d"
+  "CMakeFiles/tas_util.dir/ring_buffer.cc.o"
+  "CMakeFiles/tas_util.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/tas_util.dir/rng.cc.o"
+  "CMakeFiles/tas_util.dir/rng.cc.o.d"
+  "CMakeFiles/tas_util.dir/stats.cc.o"
+  "CMakeFiles/tas_util.dir/stats.cc.o.d"
+  "libtas_util.a"
+  "libtas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowpath_fsm_test.dir/slowpath_fsm_test.cc.o"
+  "CMakeFiles/slowpath_fsm_test.dir/slowpath_fsm_test.cc.o.d"
+  "slowpath_fsm_test"
+  "slowpath_fsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowpath_fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

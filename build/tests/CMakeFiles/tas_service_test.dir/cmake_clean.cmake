@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_service_test.dir/tas_service_test.cc.o"
+  "CMakeFiles/tas_service_test.dir/tas_service_test.cc.o.d"
+  "tas_service_test"
+  "tas_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tas_test.dir/tas_test.cc.o"
+  "CMakeFiles/tas_test.dir/tas_test.cc.o.d"
+  "tas_test"
+  "tas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
