@@ -22,7 +22,9 @@ double RunPoint(StackKind kind, double drop_rate, bool go_back_n) {
   }
   LinkConfig link = ClientLink();
   link.ecn_threshold_pkts = 65;
-  link.drop_rate = drop_rate;
+  if (drop_rate > 0) {
+    link.faults.Add(BernoulliLoss(drop_rate));
+  }
   auto exp = Experiment::PointToPoint(receiver, sender, link);
 
   BulkReceiver rx(&exp->sim(), exp->host(0).stack(), BulkReceiverConfig{});

@@ -12,6 +12,7 @@
 
 #include "src/baseline/engine_stack.h"
 #include "src/baseline/stack_iface.h"
+#include "src/fault/injector.h"
 #include "src/libtas/tas_stack.h"
 #include "src/net/topology.h"
 #include "src/tas/service.h"
@@ -80,6 +81,19 @@ class Experiment {
   SimHost& host(size_t i) { return *hosts_[i]; }
   size_t num_hosts() const { return hosts_.size(); }
 
+  // Host i's access link — the usual fault-schedule target.
+  Link* host_link(size_t i) { return net_->host(i).access_link; }
+  // The experiment's fault injector (created on first use). Typical scenario:
+  //   FaultSchedule chaos;
+  //   chaos.LinkFlap(Ms(50), Ms(10), exp->host_link(2));
+  //   exp->faults().Install(std::move(chaos));
+  FaultInjector& faults() {
+    if (faults_ == nullptr) {
+      faults_ = std::make_unique<FaultInjector>(&sim_);
+    }
+    return *faults_;
+  }
+
   // Hosts around one switch. specs[i] uses links[i] (or links[0] if only one
   // link config is given).
   static std::unique_ptr<Experiment> Star(const std::vector<HostSpec>& specs,
@@ -101,6 +115,7 @@ class Experiment {
   Simulator sim_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 // Scale control: benches run reduced configurations by default on this

@@ -8,11 +8,53 @@ namespace {
 // Deterministic per-link seeds: simulations must be reproducible run-to-run.
 std::atomic<uint64_t> g_link_counter{1};
 
+// Corruption damages bits the checksums actually cover: anywhere past the
+// Ethernet header (IPv4 header -> IP checksum, TCP header/payload -> TCP
+// checksum). Flipping unprotected Ethernet bytes would let a "corrupted"
+// frame parse cleanly, which is not the fault being modeled.
+constexpr size_t kEthernetHeaderBytes = 14;
+
+void FlipWireBits(std::vector<uint8_t>& bytes, uint32_t flips, Rng& rng) {
+  if (bytes.size() <= kEthernetHeaderBytes) {
+    return;
+  }
+  const uint64_t protected_bits = (bytes.size() - kEthernetHeaderBytes) * 8;
+  for (uint32_t i = 0; i < flips; ++i) {
+    const uint64_t bit = rng.NextUint64(protected_bits);
+    bytes[kEthernetHeaderBytes + bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
 }  // namespace
 
 Link::Link(Simulator* sim, const LinkConfig& config)
-    : sim_(sim), config_(config), rng_(0xC0FFEEull ^ (g_link_counter.fetch_add(1) * 0x9E37ull)) {
+    : sim_(sim),
+      config_(config),
+      rng_(config.rng_seed != 0
+               ? config.rng_seed
+               : 0xC0FFEEull ^ (g_link_counter.fetch_add(1) * 0x9E37ull)) {
   TAS_CHECK(config.gbps > 0);
+  for (Direction& d : dir_) {
+    // The legacy drop_rate shim goes first so its rng draws match the
+    // pre-impairment implementation packet for packet.
+    if (config_.drop_rate > 0) {
+      d.legacy_bernoulli = d.pipeline.Add(BernoulliLoss(config_.drop_rate));
+    }
+    d.pipeline.AddAll(config_.faults);
+  }
+}
+
+void Link::set_drop_rate(double rate) {
+  config_.drop_rate = rate;
+  for (Direction& d : dir_) {
+    if (d.legacy_bernoulli != nullptr) {
+      d.pipeline.Remove(d.legacy_bernoulli);
+      d.legacy_bernoulli = nullptr;
+    }
+    if (rate > 0) {
+      d.legacy_bernoulli = d.pipeline.Add(BernoulliLoss(rate));
+    }
+  }
 }
 
 void Link::Attach(int side, NetDevice* device) {
@@ -25,10 +67,39 @@ void Link::Send(int from_side, PacketPtr pkt) {
   TAS_CHECK(from_side == 0 || from_side == 1);
   Direction& d = dir_[from_side];
 
-  if (config_.drop_rate > 0 && rng_.NextBool(config_.drop_rate)) {
-    d.stats.drops_induced++;
-    return;
+  if (!d.pipeline.empty()) {
+    const ImpairmentDecision decision = d.pipeline.Apply(*pkt, rng_);
+    if (decision.drop) {
+      if (decision.dropped_by != nullptr &&
+          decision.dropped_by->kind() == ImpairmentKind::kLinkDown) {
+        d.stats.drops_down++;
+      } else {
+        d.stats.drops_induced++;
+      }
+      return;
+    }
+    if (pkt->corrupt_flips > 0) {
+      d.stats.corrupt_marked++;
+    }
+    if (decision.duplicate) {
+      d.stats.duplicated++;
+      Enqueue(from_side, std::make_unique<Packet>(*pkt));
+    }
+    if (decision.extra_delay > 0) {
+      // Hold the packet out of the FIFO so later sends overtake it, then
+      // re-admit directly (held packets are not re-impaired).
+      d.stats.reordered++;
+      auto* raw = pkt.release();
+      sim_->After(decision.extra_delay,
+                  [this, from_side, raw] { Enqueue(from_side, PacketPtr(raw)); });
+      return;
+    }
   }
+  Enqueue(from_side, std::move(pkt));
+}
+
+void Link::Enqueue(int from_side, PacketPtr pkt) {
+  Direction& d = dir_[from_side];
   d.stats.queue_pkts.Add(static_cast<double>(d.queue.size()));
   if (d.queue.size() >= config_.queue_limit_pkts) {
     d.stats.drops_overflow++;
@@ -40,10 +111,24 @@ void Link::Send(int from_side, PacketPtr pkt) {
     d.stats.ecn_marks++;
   }
   if (config_.validate_wire_format) {
-    auto parsed = Parse(Serialize(*pkt));
-    TAS_CHECK(parsed.has_value()) << "packet failed wire round-trip: " << pkt->Describe();
+    auto bytes = Serialize(*pkt);
+    if (pkt->corrupt_flips > 0) {
+      FlipWireBits(bytes, pkt->corrupt_flips, rng_);
+    }
+    auto parsed = Parse(bytes);
+    if (!parsed.has_value()) {
+      // Only injected corruption may fail the round-trip; anything else is a
+      // stack bug the validation mode exists to catch.
+      TAS_CHECK(pkt->corrupt_flips > 0)
+          << "packet failed wire round-trip: " << pkt->Describe();
+      d.stats.drops_corrupt++;
+      return;
+    }
     parsed->enqueued_at = pkt->enqueued_at;
     parsed->ingress_port = pkt->ingress_port;
+    // Survived the checksums despite flips (possible: a flip pair can cancel
+    // in the ones'-complement sum); keep the mark so the NIC model drops it.
+    parsed->corrupt_flips = pkt->corrupt_flips;
     pkt = std::make_unique<Packet>(std::move(*parsed));
   }
   d.queue.push_back(std::move(pkt));
@@ -64,6 +149,9 @@ void Link::StartTransmit(int dir_index) {
   const TimeNs serialize = TransmitTimeNs(pkt->WireBytes(), config_.gbps);
   d.stats.tx_packets++;
   d.stats.tx_bytes += pkt->WireBytes();
+  if (d.pcap != nullptr) {
+    d.pcap->Record(sim_->Now(), *pkt);
+  }
 
   // Deliver after serialization + propagation; free the transmitter after
   // serialization only, so back-to-back packets pipeline onto the wire.

@@ -1,13 +1,18 @@
 // Full-duplex point-to-point link with per-direction FIFO queues, DCTCP-style
 // ECN marking at a configurable instantaneous queue threshold, drop-tail
-// overflow, and optional induced random loss (the packet-loss experiment,
-// paper Fig 7).
+// overflow, and a per-direction fault-injection pipeline (src/fault): loss
+// (Bernoulli or Gilbert-Elliott bursts), corruption, reordering, duplication,
+// and administrative link down/up — the substrate behind the packet-loss
+// experiment (paper Fig 7) and the chaos test suite.
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
 #include <deque>
+#include <memory>
 
+#include "src/fault/impairment.h"
 #include "src/net/packet.h"
+#include "src/net/pcap.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -28,11 +33,21 @@ struct LinkConfig {
   // Mark CE on ECT packets when the queue holds >= this many packets at
   // enqueue. 0 disables marking. The paper's switch marks at 65 packets.
   size_t ecn_threshold_pkts = 0;
-  // Probability of dropping each packet (induced loss, Fig 7).
+  // Legacy shim for induced uniform loss (Fig 7): instantiated as a
+  // BernoulliLoss impairment in each direction. New code should declare the
+  // loss in `faults` instead.
   double drop_rate = 0.0;
+  // Egress impairments, instantiated per direction (each direction gets its
+  // own instances, so burst-loss state and stats stay independent).
+  FaultConfig faults;
+  // Seed for the link's fault/validation RNG. 0 derives a unique deterministic
+  // seed from link creation order; set explicitly when a scenario must be
+  // byte-identical across separately constructed experiments.
+  uint64_t rng_seed = 0;
   // Debug/validation mode: round-trip every packet through the byte-level
   // wire encoding (Serialize -> Parse, including checksums) and deliver the
-  // parsed copy. Slow; catches any header field the stacks forget to set.
+  // parsed copy. Slow; catches any header field the stacks forget to set,
+  // and is where corruption impairments flip real wire bits.
   bool validate_wire_format = false;
 };
 
@@ -40,7 +55,12 @@ struct LinkStats {
   uint64_t tx_packets = 0;
   uint64_t tx_bytes = 0;
   uint64_t drops_overflow = 0;
-  uint64_t drops_induced = 0;
+  uint64_t drops_induced = 0;  // Dropped by loss impairments (incl. drop_rate).
+  uint64_t drops_down = 0;     // Dropped while administratively down.
+  uint64_t drops_corrupt = 0;  // Corrupted frames the wire checksum rejected.
+  uint64_t corrupt_marked = 0; // Frames a corruption impairment damaged.
+  uint64_t duplicated = 0;     // Extra copies injected.
+  uint64_t reordered = 0;      // Frames held back to overtake.
   uint64_t ecn_marks = 0;
   RunningStats queue_pkts;  // Queue occupancy sampled at each enqueue.
 };
@@ -58,7 +78,46 @@ class Link {
   size_t QueueLen(int from_side) const { return dir_[from_side].queue.size(); }
   const LinkStats& stats(int from_side) const { return dir_[from_side].stats; }
   const LinkConfig& config() const { return config_; }
-  void set_drop_rate(double rate) { config_.drop_rate = rate; }
+
+  // --- Fault-injection hooks -------------------------------------------------
+  // Adds an impairment to one direction's egress pipeline; the returned
+  // handle stays valid until RemoveImpairment. Safe mid-run (FaultInjector
+  // windows use exactly this).
+  Impairment* AddImpairment(int side, const ImpairmentSpec& spec) {
+    return dir_[side].pipeline.Add(spec);
+  }
+  Impairment* AddImpairment(int side, std::unique_ptr<Impairment> impairment) {
+    return dir_[side].pipeline.Add(std::move(impairment));
+  }
+  bool RemoveImpairment(int side, const Impairment* impairment) {
+    return dir_[side].pipeline.Remove(impairment);
+  }
+  ImpairmentPipeline& pipeline(int side) { return dir_[side].pipeline; }
+
+  // Administrative link state; affects both directions. Packets already on
+  // the wire still arrive (they left before the cut); packets queued behind
+  // the gate are dropped at Send time with stats attribution.
+  void SetDown(bool down) {
+    for (Direction& d : dir_) {
+      if (d.down_gate == nullptr) {
+        d.down_gate = static_cast<LinkDownImpairment*>(
+            d.pipeline.AddFront(std::make_unique<LinkDownImpairment>(down)));
+      } else {
+        d.down_gate->SetDown(down);
+      }
+    }
+  }
+  bool down() const {
+    return dir_[0].down_gate != nullptr && dir_[0].down_gate->down();
+  }
+
+  // Legacy shim: replaces the per-direction Bernoulli loss installed by
+  // LinkConfig::drop_rate (or installs one).
+  void set_drop_rate(double rate);
+
+  // Attaches a trace writer to one direction; every frame put on the wire is
+  // recorded at transmit time. Pass nullptr to detach.
+  void AttachPcap(int from_side, PcapWriter* pcap) { dir_[from_side].pcap = pcap; }
 
  private:
   struct Direction {
@@ -66,8 +125,15 @@ class Link {
     bool transmitting = false;
     NetDevice* dst = nullptr;
     LinkStats stats;
+    ImpairmentPipeline pipeline;
+    LinkDownImpairment* down_gate = nullptr;   // Owned by pipeline.
+    Impairment* legacy_bernoulli = nullptr;    // Owned by pipeline (drop_rate shim).
+    PcapWriter* pcap = nullptr;                // Not owned.
   };
 
+  // FIFO admission after impairments: occupancy sampling, overflow drop, ECN
+  // marking, optional wire-format validation.
+  void Enqueue(int from_side, PacketPtr pkt);
   void StartTransmit(int dir_index);
 
   Simulator* sim_;

@@ -110,6 +110,11 @@ struct Packet {
   // Simulation metadata (not on the wire).
   TimeNs enqueued_at = 0;  // When the sender handed it to the NIC.
   uint32_t ingress_port = 0;
+  // Fault injection: wire bits to flip (src/fault corruption impairment).
+  // Where real bytes exist (validate_wire_format) the flips are applied and
+  // the internet checksum rejects the frame; otherwise the receiving NIC
+  // models its hardware checksum check by discarding marked frames.
+  uint32_t corrupt_flips = 0;
 
   size_t payload_size() const { return payload.size(); }
   // Total bytes on the wire, including Ethernet framing.

@@ -9,6 +9,7 @@ class Switch::Port : public NetDevice {
 
   void Receive(PacketPtr pkt) override { parent_->HandlePacket(std::move(pkt)); }
   void Send(PacketPtr pkt) { end_.Send(std::move(pkt)); }
+  LinkEnd end() const { return end_; }
 
  private:
   Switch* parent_;
@@ -23,6 +24,11 @@ Switch::~Switch() = default;
 int Switch::AddPort(LinkEnd end) {
   ports_.push_back(std::make_unique<Port>(this, end));
   return static_cast<int>(ports_.size()) - 1;
+}
+
+LinkEnd Switch::port_end(int port) const {
+  TAS_CHECK(port >= 0 && static_cast<size_t>(port) < ports_.size());
+  return ports_[static_cast<size_t>(port)]->end();
 }
 
 void Switch::AddRoute(IpAddr dst, int port) {

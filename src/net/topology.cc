@@ -64,7 +64,18 @@ void Network::ConnectSwitches(Switch* a, Switch* b, const LinkConfig& config) {
     }
   }
   TAS_CHECK(ia != std::numeric_limits<size_t>::max() && ib != std::numeric_limits<size_t>::max());
-  switch_edges_.push_back(SwitchEdge{ia, ib, port_a, port_b});
+  switch_edges_.push_back(SwitchEdge{ia, ib, port_a, port_b, link});
+}
+
+Link* Network::SwitchLink(const Switch* a, const Switch* b) const {
+  for (const SwitchEdge& e : switch_edges_) {
+    const Switch* ea = switches_[e.a].get();
+    const Switch* eb = switches_[e.b].get();
+    if ((ea == a && eb == b) || (ea == b && eb == a)) {
+      return e.link;
+    }
+  }
+  return nullptr;
 }
 
 void Network::ComputeRoutes() {

@@ -52,12 +52,19 @@ class Network {
   Switch* switch_at(size_t i) { return switches_[i].get(); }
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
+  // --- Fault-schedule targeting ----------------------------------------------
+  // Host i's access link ("flap host 2's link").
+  Link* host_link(size_t i) { return hosts_[i].access_link; }
+  // The link joining two switches ("the switch uplink"); null if not adjacent.
+  Link* SwitchLink(const Switch* a, const Switch* b) const;
+
  private:
   struct SwitchEdge {
     size_t a;        // Switch index.
     size_t b;        // Switch index.
     int port_on_a;
     int port_on_b;
+    Link* link;
   };
   struct HostEdge {
     size_t host;

@@ -3,8 +3,8 @@
 namespace tas {
 
 SimNic::SimNic(Simulator* sim, HostPort* port, const NicConfig& config)
-    : tx_end_(port->end), ip_(port->ip), mac_(port->mac), config_(config) {
-  (void)sim;
+    : sim_(sim), tx_end_(port->end), ip_(port->ip), mac_(port->mac), config_(config),
+      rng_(config.rng_seed) {
   TAS_CHECK(config.num_queues >= 1);
   TAS_CHECK(config.rss_table_entries >= 1);
   for (int i = 0; i < config.num_queues; ++i) {
@@ -12,6 +12,7 @@ SimNic::SimNic(Simulator* sim, HostPort* port, const NicConfig& config)
   }
   redirection_.resize(config.rss_table_entries);
   SetActiveQueues(config.num_queues);
+  rx_pipeline_.AddAll(config.rx_faults);
   port->end.Attach(this);
 }
 
@@ -29,6 +30,32 @@ int SimNic::SelectQueue(const Packet& pkt) const {
 
 void SimNic::Receive(PacketPtr pkt) {
   ++rx_packets_;
+  // Hardware checksum verification: frames a corruption impairment damaged
+  // never reach the host (the byte-honest path, LinkConfig::
+  // validate_wire_format, flips and rejects the actual wire bits instead).
+  if (pkt->corrupt_flips > 0) {
+    ++rx_checksum_drops_;
+    return;
+  }
+  if (!rx_pipeline_.empty()) {
+    const ImpairmentDecision decision = rx_pipeline_.Apply(*pkt, rng_);
+    if (decision.drop) {
+      ++rx_fault_drops_;
+      return;
+    }
+    if (decision.duplicate) {
+      DeliverToRing(std::make_unique<Packet>(*pkt));
+    }
+    if (decision.extra_delay > 0) {
+      auto* raw = pkt.release();
+      sim_->After(decision.extra_delay, [this, raw] { DeliverToRing(PacketPtr(raw)); });
+      return;
+    }
+  }
+  DeliverToRing(std::move(pkt));
+}
+
+void SimNic::DeliverToRing(PacketPtr pkt) {
   Ring& ring = *rings_[static_cast<size_t>(SelectQueue(*pkt))];
   if (ring.pkts.size() >= config_.ring_entries) {
     ++rx_drops_;

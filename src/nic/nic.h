@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/impairment.h"
 #include "src/net/link.h"
 #include "src/net/topology.h"
 
@@ -25,6 +26,11 @@ struct NicConfig {
   size_t rss_table_entries = 128;
   // Use the symmetric hash so both directions of a flow hit one queue.
   bool symmetric_rss = true;
+  // Device-level RX faults (stalls, PCIe drops): applied to each received
+  // frame after the checksum check, before RSS ring placement.
+  FaultConfig rx_faults;
+  // Seed for the NIC's fault RNG (all NICs share the default deterministically).
+  uint64_t rng_seed = 0x71C0;
 };
 
 class SimNic : public NetDevice {
@@ -40,6 +46,14 @@ class SimNic : public NetDevice {
   // --- Wire side -----------------------------------------------------------
   void Receive(PacketPtr pkt) override;
   void Transmit(PacketPtr pkt);
+
+  // --- Fault-injection hooks -------------------------------------------------
+  // RX-side impairment pipeline (device stalls/drops); mutable mid-run.
+  Impairment* AddRxImpairment(const ImpairmentSpec& spec) { return rx_pipeline_.Add(spec); }
+  bool RemoveRxImpairment(const Impairment* impairment) {
+    return rx_pipeline_.Remove(impairment);
+  }
+  ImpairmentPipeline& rx_pipeline() { return rx_pipeline_; }
 
   // --- Host side -----------------------------------------------------------
   PacketPtr PopRx(int queue);
@@ -60,6 +74,11 @@ class SimNic : public NetDevice {
   uint64_t rx_drops() const { return rx_drops_; }
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t tx_packets() const { return tx_packets_; }
+  // Frames the (modeled) hardware checksum verification discarded because a
+  // corruption impairment damaged them on the wire.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
+  // Frames discarded by the RX fault pipeline (device-level faults).
+  uint64_t rx_fault_drops() const { return rx_fault_drops_; }
 
  private:
   struct Ring {
@@ -68,16 +87,22 @@ class SimNic : public NetDevice {
   };
 
   int SelectQueue(const Packet& pkt) const;
+  void DeliverToRing(PacketPtr pkt);
 
+  Simulator* sim_;
   LinkEnd tx_end_;
   IpAddr ip_;
   MacAddr mac_;
   NicConfig config_;
   std::vector<std::unique_ptr<Ring>> rings_;
   std::vector<int> redirection_;  // Entry -> queue.
+  ImpairmentPipeline rx_pipeline_;
+  Rng rng_;
   uint64_t rx_drops_ = 0;
   uint64_t rx_packets_ = 0;
   uint64_t tx_packets_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
+  uint64_t rx_fault_drops_ = 0;
 };
 
 }  // namespace tas

@@ -52,6 +52,13 @@ class Simulator {
   // Schedules `fn` to run `delay` after Now().
   EventHandle After(TimeNs delay, std::function<void()> fn) { return At(now_ + delay, std::move(fn)); }
 
+  // Like At(), but a `when` that already passed runs at Now() instead of
+  // failing. Fault schedules installed mid-run rely on this: events whose
+  // time predates installation apply immediately, in schedule order.
+  EventHandle AtClamped(TimeNs when, std::function<void()> fn) {
+    return At(when < now_ ? now_ : when, std::move(fn));
+  }
+
   // Runs events until the queue empties or `until` is reached (whichever is
   // first). Returns the number of events executed.
   uint64_t RunUntil(TimeNs until);

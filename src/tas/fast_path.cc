@@ -204,10 +204,13 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
       flow.CopyIntoRx(seq, pkt.payload.data(), len);
       stats.ooo_accepted++;
     } else {
-      const uint32_t cur_end = fs.ooo_start + fs.ooo_len;
+      // Copy out of the packed struct: a ternary over the raw field yields a
+      // misaligned lvalue.
+      const uint32_t ooo_start = fs.ooo_start;
+      const uint32_t cur_end = ooo_start + fs.ooo_len;
       // Same-interval rule: overlap or abut only.
-      if (SeqLe(seq, cur_end) && SeqGe(end, fs.ooo_start)) {
-        const uint32_t new_start = SeqLt(seq, fs.ooo_start) ? seq : fs.ooo_start;
+      if (SeqLe(seq, cur_end) && SeqGe(end, ooo_start)) {
+        const uint32_t new_start = SeqLt(seq, ooo_start) ? seq : ooo_start;
         const uint32_t new_end = SeqGt(end, cur_end) ? end : cur_end;
         fs.ooo_start = new_start;
         fs.ooo_len = new_end - new_start;

@@ -74,6 +74,7 @@ struct TasStats {
   uint64_t ooo_dropped = 0;
   uint64_t fast_retransmits = 0;
   uint64_t timeout_retransmits = 0;
+  uint64_t handshake_retransmits = 0;  // SYN/SYN-ACK resends by the slow path.
   uint64_t exceptions = 0;
   uint64_t cross_core_packets = 0;
   uint64_t slowpath_packets = 0;

@@ -315,8 +315,10 @@ void SlowPath::SendSyn(Flow& flow) {
   syn->tcp.mss = flow.mss;
   syn->tcp.has_wscale = true;
   syn->tcp.wscale = service_->config().window_scale;
-  syn->tcp.window =
-      static_cast<uint16_t>(std::min<uint32_t>(flow.fs.rx_size, 0xFFFF));
+  // Copy out first: fs is packed, and std::min would bind a reference to the
+  // misaligned field.
+  const uint32_t rx_size = flow.fs.rx_size;
+  syn->tcp.window = static_cast<uint16_t>(std::min<uint32_t>(rx_size, 0xFFFF));
   syn->tcp.has_timestamps = true;
   syn->tcp.ts_val = NowUs(service_->sim());
   syn->enqueued_at = service_->sim()->Now();
@@ -333,8 +335,8 @@ void SlowPath::SendSynAck(Flow& flow) {
   synack->tcp.mss = flow.mss;
   synack->tcp.has_wscale = true;
   synack->tcp.wscale = service_->config().window_scale;
-  synack->tcp.window =
-      static_cast<uint16_t>(std::min<uint32_t>(flow.fs.rx_size, 0xFFFF));
+  const uint32_t rx_size = flow.fs.rx_size;  // Packed field; see SendSyn.
+  synack->tcp.window = static_cast<uint16_t>(std::min<uint32_t>(rx_size, 0xFFFF));
   synack->tcp.has_timestamps = true;
   synack->tcp.ts_val = NowUs(service_->sim());
   synack->tcp.ts_ecr = flow.ts_echo;
@@ -523,8 +525,10 @@ void SlowPath::ScanPending() {
             ReleaseFlow(id, flow);
             still_pending = false;
           } else if (flow.cstate == ConnState::kSynSent) {
+            service_->mutable_stats().handshake_retransmits++;
             SendSyn(flow);
           } else {
+            service_->mutable_stats().handshake_retransmits++;
             SendSynAck(flow);
           }
         }
@@ -565,11 +569,15 @@ void SlowPath::ScanPending() {
         still_pending = false;
         break;
     }
-    if (still_pending && service_->flow_by_id(id) != nullptr &&
-        service_->flow_by_id(id)->cstate != ConnState::kFreed) {
+    // Re-look the flow up: ReleaseFlow above frees it, leaving `fp` dangling.
+    Flow* cur = service_->flow_by_id(id);
+    if (cur == nullptr || cur->cstate == ConnState::kFreed) {
+      continue;
+    }
+    if (still_pending) {
       keep.push_back(id);
-    } else if (fp->cstate != ConnState::kFreed) {
-      fp->in_pending = false;
+    } else {
+      cur->in_pending = false;
     }
   }
   pending_.swap(keep);

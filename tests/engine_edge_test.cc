@@ -202,7 +202,7 @@ TEST(TasWindowModeTest, WindowModeRecoversFromLoss) {
   spec.tas.max_fastpath_cores = 2;
   spec.tas.cc_algorithm = CcAlgorithm::kDctcpWindow;
   LinkConfig link = TestLink();
-  link.drop_rate = 0.02;
+  link.faults.Add(BernoulliLoss(0.02));
   auto exp = Experiment::PointToPoint(spec, spec, link);
   Sink sink(exp->host(0).stack());
   exp->host(0).stack()->SetHandler(&sink);

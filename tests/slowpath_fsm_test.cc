@@ -44,7 +44,9 @@ std::unique_ptr<Experiment> TasPair(double drop_rate = 0.0) {
   LinkConfig link;
   link.gbps = 10.0;
   link.propagation_delay = Us(2);
-  link.drop_rate = drop_rate;
+  if (drop_rate > 0) {
+    link.faults.Add(BernoulliLoss(drop_rate));
+  }
   return Experiment::PointToPoint(spec, spec, link);
 }
 

@@ -14,7 +14,9 @@ LinkConfig TestLink(double drop_rate = 0.0) {
   link.gbps = 10.0;
   link.propagation_delay = Us(2);
   link.queue_limit_pkts = 256;
-  link.drop_rate = drop_rate;
+  if (drop_rate > 0) {
+    link.faults.Add(BernoulliLoss(drop_rate));
+  }
   return link;
 }
 
