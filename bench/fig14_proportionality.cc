@@ -85,8 +85,11 @@ void Run() {
   table.Print();
 
   std::cout << "\nCore transition trace (time ms -> active cores):\n";
-  for (const auto& [t, cores] : exp->host(0).tas()->core_trace()) {
-    std::cout << "  " << Fmt(ToMs(t), 1) << " ms -> " << cores << " cores\n";
+  // The unified time-series path: TasService appends every transition to the
+  // "tas.active_cores" series in its tracer's sampler.
+  for (const auto& [t, cores] : exp->host(0).tas()->core_trace().points()) {
+    std::cout << "  " << Fmt(ToMs(t), 1) << " ms -> " << static_cast<int>(cores)
+              << " cores\n";
   }
   std::cout << "\nPaper: cores ramp 1 -> 9 as five client machines arrive, then shed\n"
                "back down; throughput tracks offered load throughout.\n";

@@ -175,9 +175,9 @@ void EngineStack::DrainRxQueue(int queue) {
       core->Charge(CpuModule::kIp, costs.rx_ip);
       done = core->Charge(CpuModule::kTcp, tcp_cycles);
     }
-    auto* raw = pkt.release();
+    auto held = std::make_shared<PacketPtr>(std::move(pkt));
     const int q = queue;
-    sim_->At(done, [this, q, raw] { HandlePacket(q, PacketPtr(raw)); });
+    sim_->At(done, [this, q, held] { HandlePacket(q, std::move(*held)); });
   }
 }
 
@@ -231,8 +231,8 @@ void EngineStack::EmitPacket(TcpConnection* conn, PacketPtr pkt) {
   }
   core->Charge(CpuModule::kDriver, costs.tx_driver);
   const TimeNs done = core->Charge(CpuModule::kTcp, cycles - costs.tx_driver);
-  auto* raw = pkt.release();
-  sim_->At(done, [this, raw] { nic_->Transmit(PacketPtr(raw)); });
+  auto held = std::make_shared<PacketPtr>(std::move(pkt));
+  sim_->At(done, [this, held] { nic_->Transmit(std::move(*held)); });
 }
 
 void EngineStack::OnConnected(TcpConnection* conn) {

@@ -32,6 +32,9 @@ TimeNs Core::Charge(CpuModule module, uint64_t cycles) {
   busy_until_ = start + duration;
   busy_ns_ += duration;
   cycles_[static_cast<size_t>(module)] += cycles;
+  if (span_listener_) {
+    span_listener_(module, start, busy_until_);
+  }
   return busy_until_;
 }
 

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/sim/simulator.h"
@@ -66,6 +67,11 @@ class Core {
   uint64_t total_cycles() const;
   void ResetAccounting();
 
+  // Observer for the trace layer: called once per Charge with the busy
+  // interval [start, end) it occupied. Unset (the default) costs one branch.
+  using SpanListener = std::function<void(CpuModule, TimeNs start, TimeNs end)>;
+  void set_span_listener(SpanListener listener) { span_listener_ = std::move(listener); }
+
  private:
   Simulator* sim_;
   int id_;
@@ -73,6 +79,7 @@ class Core {
   TimeNs busy_until_ = 0;
   TimeNs busy_ns_ = 0;
   std::array<uint64_t, kNumCpuModules> cycles_ = {};
+  SpanListener span_listener_;
 };
 
 }  // namespace tas

@@ -34,6 +34,16 @@ SimHost::SimHost(Simulator* sim, HostPort* port, const HostSpec& spec)
         config.max_fastpath_cores = spec.stack_cores;
         config.core_ghz = spec.ghz;
       }
+      if (TraceOutPrefix() != nullptr) {
+        // The env knob turns on everything; the per-host bundles are dumped
+        // by Experiment::MaybeWriteTraces on teardown.
+        config.trace.flow_events = true;
+        config.trace.cpu_spans = true;
+        config.trace.sample_flows = true;
+        if (config.trace.sample_period == 0) {
+          config.trace.sample_period = Us(100);
+        }
+      }
       const StackCostModel* api = spec.stack == StackKind::kTas
                                       ? &TasSocketsCostModel()
                                       : &TasLowLevelCostModel();
@@ -144,11 +154,44 @@ std::unique_ptr<Experiment> Experiment::Custom(
   return exp;
 }
 
+Experiment::~Experiment() { MaybeWriteTraces(); }
+
+size_t Experiment::WriteTraces(const std::string& prefix) {
+  size_t written = 0;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    TasService* tas = hosts_[i]->tas();
+    if (tas == nullptr) {
+      continue;
+    }
+    const std::string host_prefix = prefix + ".h" + std::to_string(i);
+    if (tas->tracer().WriteAll(host_prefix)) {
+      TAS_LOG(INFO) << "wrote trace bundle " << host_prefix << ".{metrics,flow_events,"
+                    << "timeseries}.jsonl + .perfetto.json";
+      ++written;
+    } else {
+      TAS_LOG(WARN) << "failed to write trace bundle under " << host_prefix;
+    }
+  }
+  return written;
+}
+
+void Experiment::MaybeWriteTraces() {
+  const char* prefix = TraceOutPrefix();
+  if (prefix != nullptr) {
+    WriteTraces(prefix);
+  }
+}
+
 bool FullScale() {
   const char* env = std::getenv("TAS_SCALE");
   return env != nullptr && std::string(env) == "full";
 }
 
 size_t ScalePick(size_t reduced, size_t full) { return FullScale() ? full : reduced; }
+
+const char* TraceOutPrefix() {
+  const char* env = std::getenv("TAS_TRACE_OUT");
+  return (env != nullptr && *env != '\0') ? env : nullptr;
+}
 
 }  // namespace tas

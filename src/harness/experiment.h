@@ -75,6 +75,8 @@ class SimHost {
 class Experiment {
  public:
   Experiment() = default;
+  // Auto-dumps traces when TAS_TRACE_OUT is set (see MaybeWriteTraces).
+  ~Experiment();
 
   Simulator& sim() { return sim_; }
   Network* net() { return net_.get(); }
@@ -93,6 +95,14 @@ class Experiment {
     }
     return *faults_;
   }
+
+  // Writes every TAS host's trace bundle (metrics / flow events / time
+  // series JSONL + Perfetto JSON) to "<prefix>.h<i>.*". Returns the number
+  // of hosts written.
+  size_t WriteTraces(const std::string& prefix);
+  // Env-var knob: when TAS_TRACE_OUT=<prefix> is set, dumps traces there.
+  // No-op otherwise. Runs automatically from the destructor.
+  void MaybeWriteTraces();
 
   // Hosts around one switch. specs[i] uses links[i] (or links[0] if only one
   // link config is given).
@@ -123,6 +133,12 @@ class Experiment {
 bool FullScale();
 // Returns `full` when TAS_SCALE=full, otherwise `reduced`.
 size_t ScalePick(size_t reduced, size_t full);
+
+// Trace control: TAS_TRACE_OUT=<path-prefix> enables full tracing (flow
+// events, CPU spans, periodic sampling) on every TAS host the harness builds
+// and makes Experiment dump per-host trace bundles under the prefix on
+// teardown. Returns nullptr when unset.
+const char* TraceOutPrefix();
 
 }  // namespace tas
 

@@ -89,9 +89,11 @@ void Link::Send(int from_side, PacketPtr pkt) {
       // Hold the packet out of the FIFO so later sends overtake it, then
       // re-admit directly (held packets are not re-impaired).
       d.stats.reordered++;
-      auto* raw = pkt.release();
+      // The shared holder keeps the packet owned while in flight, so events
+      // still pending when the simulator is destroyed don't leak it.
+      auto held = std::make_shared<PacketPtr>(std::move(pkt));
       sim_->After(decision.extra_delay,
-                  [this, from_side, raw] { Enqueue(from_side, PacketPtr(raw)); });
+                  [this, from_side, held] { Enqueue(from_side, std::move(*held)); });
       return;
     }
   }
@@ -155,15 +157,33 @@ void Link::StartTransmit(int dir_index) {
 
   // Deliver after serialization + propagation; free the transmitter after
   // serialization only, so back-to-back packets pipeline onto the wire.
-  auto* raw = pkt.release();
-  sim_->After(serialize + config_.propagation_delay, [this, dir_index, raw] {
-    PacketPtr p(raw);
+  auto held = std::make_shared<PacketPtr>(std::move(pkt));
+  sim_->After(serialize + config_.propagation_delay, [this, dir_index, held] {
     Direction& dd = dir_[dir_index];
     if (dd.dst != nullptr) {
-      dd.dst->Receive(std::move(p));
+      dd.dst->Receive(std::move(*held));
     }
   });
   sim_->After(serialize, [this, dir_index] { StartTransmit(dir_index); });
+}
+
+void Link::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  for (int side = 0; side < 2; ++side) {
+    const std::string p = prefix + ".d" + std::to_string(side) + ".";
+    const LinkStats& s = dir_[side].stats;
+    registry->AddCounter(p + "tx_packets", &s.tx_packets);
+    registry->AddCounter(p + "tx_bytes", &s.tx_bytes);
+    registry->AddCounter(p + "drops_overflow", &s.drops_overflow);
+    registry->AddCounter(p + "drops_induced", &s.drops_induced);
+    registry->AddCounter(p + "drops_down", &s.drops_down);
+    registry->AddCounter(p + "drops_corrupt", &s.drops_corrupt);
+    registry->AddCounter(p + "corrupt_marked", &s.corrupt_marked);
+    registry->AddCounter(p + "duplicated", &s.duplicated);
+    registry->AddCounter(p + "reordered", &s.reordered);
+    registry->AddCounter(p + "ecn_marks", &s.ecn_marks);
+    registry->AddGauge(p + "queue_pkts",
+                       [this, side] { return static_cast<double>(QueueLen(side)); });
+  }
 }
 
 }  // namespace tas

@@ -14,6 +14,7 @@
 #include "src/net/packet.h"
 #include "src/net/pcap.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metric_registry.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
@@ -78,6 +79,10 @@ class Link {
   size_t QueueLen(int from_side) const { return dir_[from_side].queue.size(); }
   const LinkStats& stats(int from_side) const { return dir_[from_side].stats; }
   const LinkConfig& config() const { return config_; }
+
+  // Registers both directions' counters and a live queue-depth gauge under
+  // "<prefix>.d0." / "<prefix>.d1." (DESIGN.md §7 naming).
+  void RegisterMetrics(MetricRegistry* registry, const std::string& prefix);
 
   // --- Fault-injection hooks -------------------------------------------------
   // Adds an impairment to one direction's egress pipeline; the returned

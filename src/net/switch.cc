@@ -52,10 +52,22 @@ void Switch::HandlePacket(PacketPtr pkt) {
     port = candidates[h % candidates.size()];
   }
   ++forwarded_;
-  auto* raw = pkt.release();
-  sim_->After(forwarding_latency_, [this, port, raw] {
-    ports_[static_cast<size_t>(port)]->Send(PacketPtr(raw));
+  // Shared holder: frees the packet if the event never fires (sim teardown).
+  auto held = std::make_shared<PacketPtr>(std::move(pkt));
+  sim_->After(forwarding_latency_, [this, port, held] {
+    ports_[static_cast<size_t>(port)]->Send(std::move(*held));
   });
+}
+
+void Switch::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  registry->AddCounter(prefix + ".forwarded", &forwarded_);
+  registry->AddCounter(prefix + ".no_route_drops", &no_route_drops_);
+  for (size_t p = 0; p < ports_.size(); ++p) {
+    const LinkEnd end = ports_[p]->end();
+    registry->AddGauge(prefix + ".port." + std::to_string(p) + ".queue_pkts", [end] {
+      return static_cast<double>(end.link->QueueLen(end.side));
+    });
+  }
 }
 
 }  // namespace tas

@@ -40,6 +40,10 @@ class Switch {
   uint64_t forwarded() const { return forwarded_; }
   uint64_t no_route_drops() const { return no_route_drops_; }
 
+  // Registers forwarding counters plus one egress queue-depth gauge per port
+  // under "<prefix>." (queue depth lives in the attached link's egress FIFO).
+  void RegisterMetrics(MetricRegistry* registry, const std::string& prefix);
+
  private:
   class Port;
 

@@ -47,8 +47,8 @@ void SimNic::Receive(PacketPtr pkt) {
       DeliverToRing(std::make_unique<Packet>(*pkt));
     }
     if (decision.extra_delay > 0) {
-      auto* raw = pkt.release();
-      sim_->After(decision.extra_delay, [this, raw] { DeliverToRing(PacketPtr(raw)); });
+      auto held = std::make_shared<PacketPtr>(std::move(pkt));
+      sim_->After(decision.extra_delay, [this, held] { DeliverToRing(std::move(*held)); });
       return;
     }
   }
@@ -97,6 +97,18 @@ void SimNic::SetActiveQueues(int active_queues) {
   TAS_CHECK(active_queues >= 1 && active_queues <= num_queues());
   for (size_t i = 0; i < redirection_.size(); ++i) {
     redirection_[i] = static_cast<int>(i % static_cast<size_t>(active_queues));
+  }
+}
+
+void SimNic::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
+  registry->AddCounter(prefix + ".rx_packets", &rx_packets_);
+  registry->AddCounter(prefix + ".tx_packets", &tx_packets_);
+  registry->AddCounter(prefix + ".rx_drops", &rx_drops_);
+  registry->AddCounter(prefix + ".rx_checksum_drops", &rx_checksum_drops_);
+  registry->AddCounter(prefix + ".rx_fault_drops", &rx_fault_drops_);
+  for (int q = 0; q < num_queues(); ++q) {
+    registry->AddGauge(prefix + ".ring." + std::to_string(q) + ".depth",
+                       [this, q] { return static_cast<double>(RxQueueLen(q)); });
   }
 }
 

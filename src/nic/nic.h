@@ -16,6 +16,7 @@
 #include "src/fault/impairment.h"
 #include "src/net/link.h"
 #include "src/net/topology.h"
+#include "src/trace/metric_registry.h"
 
 namespace tas {
 
@@ -79,6 +80,9 @@ class SimNic : public NetDevice {
   uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
   // Frames discarded by the RX fault pipeline (device-level faults).
   uint64_t rx_fault_drops() const { return rx_fault_drops_; }
+
+  // Registers device counters and per-ring occupancy gauges under "<prefix>.".
+  void RegisterMetrics(MetricRegistry* registry, const std::string& prefix);
 
  private:
   struct Ring {

@@ -6,6 +6,9 @@ EventHandle Simulator::At(TimeNs when, std::function<void()> fn) {
   TAS_CHECK(when >= now_);
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  if (queue_.size() > max_pending_events_) {
+    max_pending_events_ = queue_.size();
+  }
   return EventHandle(std::move(cancelled));
 }
 

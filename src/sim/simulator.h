@@ -71,6 +71,9 @@ class Simulator {
 
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
+  // High-water mark of pending_events() over the run (updated at schedule
+  // time; a cheap dispatch-pressure metric for the trace layer).
+  size_t max_pending_events() const { return max_pending_events_; }
 
  private:
   struct Event {
@@ -90,6 +93,7 @@ class Simulator {
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  size_t max_pending_events_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };

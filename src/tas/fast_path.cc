@@ -64,10 +64,10 @@ void FastPathCore::RunOne() {
     cpu_->Charge(CpuModule::kDriver, costs.rx_driver);
     const TimeNs done = cpu_->Charge(CpuModule::kTcp, tcp_cycles);
     busy_ = true;
-    auto* raw = pkt.release();
-    sim->At(done, [this, raw] {
+    auto held = std::make_shared<PacketPtr>(std::move(pkt));
+    sim->At(done, [this, held] {
       busy_ = false;
-      ProcessPacket(PacketPtr(raw));
+      ProcessPacket(std::move(*held));
       MaybeRun();
     });
     return;
@@ -149,7 +149,7 @@ void FastPathCore::FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt) {
   if (had_payload) {
     // Fast path ACKs every received data packet (paper §3.1: important for
     // security, ECN feedback, and RTT timestamps).
-    SendAck(flow, pkt.ip.ecn == Ecn::kCe);
+    SendAck(flow_id, flow, pkt.ip.ecn == Ecn::kCe);
   }
 }
 
@@ -158,12 +158,15 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
   const uint32_t seq = pkt.tcp.seq;
   const uint32_t len = static_cast<uint32_t>(pkt.payload.size());
   TasStats& stats = service_->mutable_stats();
+  FlowTracer& trace = service_->flow_trace();
+  const TimeNs now = service_->sim()->Now();
 
   if (seq == fs.ack) {
     // Common case: in-order arrival.
     if (len > flow.RxFree()) {
       // Payload buffer full: drop; TCP flow control makes this rare.
       stats.rx_buffer_drops++;
+      trace.Record(now, flow_id, FlowEventType::kRxBufferDrop, seq, len);
       return 0;
     }
     const uint32_t old_ack = fs.ack;
@@ -182,6 +185,7 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
       fs.ooo_start = 0;
     }
     const uint32_t advanced = fs.ack - old_ack;
+    trace.Record(now, flow_id, FlowEventType::kDataRx, seq, len, advanced);
     service_->context(fs.context)->PushEvent(
         AppEvent{AppEventType::kRxData, fs.opaque, advanced});
     return advanced;
@@ -191,11 +195,13 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
     // Out-of-order arrival: exception handled on the fast path (§3.1).
     if (service_->config().ooo_mode == OooMode::kGoBackN) {
       stats.ooo_dropped++;
+      trace.Record(now, flow_id, FlowEventType::kOooDrop, seq, len);
       return 0;
     }
     const uint32_t end = seq + len;
     if (end - fs.ack > flow.RxFree()) {
       stats.ooo_dropped++;  // Does not fit in the receive buffer.
+      trace.Record(now, flow_id, FlowEventType::kOooDrop, seq, len);
       return 0;
     }
     if (fs.ooo_len == 0) {
@@ -203,6 +209,7 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
       fs.ooo_len = len;
       flow.CopyIntoRx(seq, pkt.payload.data(), len);
       stats.ooo_accepted++;
+      trace.Record(now, flow_id, FlowEventType::kOooAccept, seq, len, fs.ooo_len);
     } else {
       // Copy out of the packed struct: a ternary over the raw field yields a
       // misaligned lvalue.
@@ -216,20 +223,24 @@ uint32_t FastPathCore::HandlePayload(FlowId flow_id, Flow& flow, const Packet& p
         fs.ooo_len = new_end - new_start;
         flow.CopyIntoRx(seq, pkt.payload.data(), len);
         stats.ooo_accepted++;
+        trace.Record(now, flow_id, FlowEventType::kOooAccept, seq, len, fs.ooo_len);
       } else {
         stats.ooo_dropped++;
+        trace.Record(now, flow_id, FlowEventType::kOooDrop, seq, len);
       }
     }
     return 0;  // The ACK we send restates fs.ack -> duplicate ACK at sender.
   }
 
   // Old duplicate; re-ACK.
-  (void)flow_id;
+  trace.Record(now, flow_id, FlowEventType::kDataRx, seq, len, 0);
   return 0;
 }
 
 void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
   FlowState& fs = flow.fs;
+  FlowTracer& trace = service_->flow_trace();
+  const TimeNs now = service_->sim()->Now();
   SetPeerWindowBytes(fs, static_cast<uint64_t>(pkt.tcp.window) << flow.peer_wscale);
 
   // Valid cumulative ACKs fall within the app-written region (tx_tail,
@@ -254,6 +265,8 @@ void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
         fs.rtt_est = fs.rtt_est == 0 ? sample_us : fs.rtt_est - fs.rtt_est / 8 + sample_us / 8;
       }
     }
+    trace.Record(now, flow_id, FlowEventType::kAckRx, pkt.tcp.ack, acked,
+                 pkt.tcp.ece() ? 1 : 0);
     service_->context(fs.context)->PushEvent(
         AppEvent{AppEventType::kTxDone, fs.opaque, acked});
     service_->MarkFlowDirty(flow_id);
@@ -266,12 +279,14 @@ void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
   if (acked == 0 && (fs.tx_sent > 0) && pkt.payload.empty()) {
     // Duplicate ACK. Three trigger fast recovery: reset the sender state as
     // if the unacked segments had not been sent (paper §3.1, exception 1).
+    trace.Record(now, flow_id, FlowEventType::kDupAck, fs.dupack_cnt + 1u);
     if (++fs.dupack_cnt >= 3) {
       fs.dupack_cnt = 0;
       if (fs.cnt_frexmits < 0xFF) {
         fs.cnt_frexmits++;
       }
       service_->mutable_stats().fast_retransmits++;
+      trace.Record(now, flow_id, FlowEventType::kFastRetransmit, fs.tx_tail);
       fs.seq = fs.tx_tail;
       fs.tx_sent = 0;
       service_->MarkFlowDirty(flow_id);
@@ -280,7 +295,7 @@ void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
   }
 }
 
-void FastPathCore::SendAck(Flow& flow, bool ecn_echo) {
+void FastPathCore::SendAck(FlowId flow_id, Flow& flow, bool ecn_echo) {
   FlowState& fs = flow.fs;
   uint8_t flags = TcpFlags::kAck;
   if (ecn_echo) {
@@ -295,6 +310,8 @@ void FastPathCore::SendAck(Flow& flow, bool ecn_echo) {
   ack->tcp.ts_ecr = flow.ts_echo;
   ack->enqueued_at = service_->sim()->Now();
   service_->mutable_stats().fastpath_acks_sent++;
+  service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kAckTx,
+                                fs.ack, ecn_echo ? 1 : 0);
   service_->nic()->Transmit(std::move(ack));
 }
 
@@ -358,11 +375,14 @@ void FastPathCore::ProcessFlowTx(FlowId flow_id) {
   }
   flow->tx_tokens -= len;
 
-  auto pkt = BuildDataPacket(*flow, fs.seq, len);
+  const uint32_t wire_seq = fs.seq;
+  auto pkt = BuildDataPacket(*flow, wire_seq, len);
   service_->mutable_stats().fastpath_tx_packets++;
   service_->nic()->Transmit(std::move(pkt));
   fs.seq += len;
   fs.tx_sent += len;
+  service_->flow_trace().Record(now, flow_id, FlowEventType::kDataTx, wire_seq, len,
+                                fs.tx_sent);
   service_->MarkFlowDirty(flow_id);
   flow->next_tx_time = now;
   if (flow->TxAvailable() > 0) {
@@ -375,7 +395,7 @@ void FastPathCore::SendWindowUpdate(FlowId flow_id) {
   if (flow == nullptr || !flow->FastPathEligible()) {
     return;
   }
-  SendAck(*flow, false);
+  SendAck(flow_id, *flow, false);
 }
 
 }  // namespace tas

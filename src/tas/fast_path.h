@@ -65,7 +65,7 @@ class FastPathCore {
   void FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt);
   void HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt);
   uint32_t HandlePayload(FlowId flow_id, Flow& flow, const Packet& pkt);
-  void SendAck(Flow& flow, bool ecn_echo);
+  void SendAck(FlowId flow_id, Flow& flow, bool ecn_echo);
   PacketPtr BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t len);
 
   TasService* service_;

@@ -1,5 +1,7 @@
 #include "src/tas/service.h"
 
+#include <algorithm>
+
 #include "src/cc/dctcp_rate.h"
 #include "src/cc/timely.h"
 #include "src/tas/fast_path.h"
@@ -23,6 +25,7 @@ std::unique_ptr<RateCc> MakeRateCc(const TasConfig& config) {
 
 TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     : sim_(sim), config_(config), rng_(config.rng_seed) {
+  tracer_ = std::make_unique<Tracer>(sim, config.trace);
   NicConfig nic_config;
   nic_config.num_queues = config.max_fastpath_cores;
   nic_ = std::make_unique<SimNic>(sim, port, nic_config);
@@ -33,14 +36,118 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     fastpaths_.push_back(std::make_unique<FastPathCore>(this, fastpath_cores_.back().get(), i));
   }
   slow_path_ = std::make_unique<SlowPath>(this, slowpath_core_.get());
+  RegisterTraceInstrumentation();
   slow_path_->Start();
 
   active_cores_ = config.dynamic_cores ? 1 : config.max_fastpath_cores;
   nic_->SetActiveQueues(active_cores_);
-  core_trace_.emplace_back(sim->Now(), active_cores_);
+  core_series_->Append(sim->Now(), static_cast<double>(active_cores_));
 
   for (int i = 0; i < config.max_fastpath_cores; ++i) {
     nic_->SetRxNotify(i, [this, i] { fastpaths_[static_cast<size_t>(i)]->NotifyRx(); });
+  }
+}
+
+void TasService::RegisterTraceInstrumentation() {
+  MetricRegistry& m = tracer_->metrics();
+  RegisterSimulatorMetrics(&m, sim_);
+  // TasStats stays the storage; the registry holds thin counter views.
+  m.AddCounter("tas.fastpath.rx_packets", &stats_.fastpath_rx_packets);
+  m.AddCounter("tas.fastpath.tx_packets", &stats_.fastpath_tx_packets);
+  m.AddCounter("tas.fastpath.acks_sent", &stats_.fastpath_acks_sent);
+  m.AddCounter("tas.fastpath.rx_buffer_drops", &stats_.rx_buffer_drops);
+  m.AddCounter("tas.fastpath.ooo_accepted", &stats_.ooo_accepted);
+  m.AddCounter("tas.fastpath.ooo_dropped", &stats_.ooo_dropped);
+  m.AddCounter("tas.fastpath.fast_retransmits", &stats_.fast_retransmits);
+  m.AddCounter("tas.fastpath.exceptions", &stats_.exceptions);
+  m.AddCounter("tas.fastpath.cross_core_packets", &stats_.cross_core_packets);
+  m.AddCounter("tas.slowpath.packets", &stats_.slowpath_packets);
+  m.AddCounter("tas.slowpath.timeout_retransmits", &stats_.timeout_retransmits);
+  m.AddCounter("tas.slowpath.handshake_retransmits", &stats_.handshake_retransmits);
+  m.AddCounter("tas.slowpath.connections_established", &stats_.connections_established);
+  m.AddCounter("tas.slowpath.connections_closed", &stats_.connections_closed);
+  m.AddCounterFn("tas.slowpath.control_iterations",
+                 [this] { return slow_path_->control_iterations(); });
+  m.AddGauge("tas.active_cores", [this] { return static_cast<double>(active_cores_); });
+  m.AddGauge("tas.live_flows", [this] { return static_cast<double>(live_flows_); });
+  nic_->RegisterMetrics(&m, "nic");
+
+  // Event-driven series behind the Fig 14 proportionality plot. Generous cap:
+  // core transitions are rare (one per monitor interval at most).
+  core_series_ = &tracer_->sampler().Series("tas.active_cores", 1u << 16);
+
+  if (config_.trace.cpu_spans) {
+    SpanRecorder& spans = tracer_->spans();
+    const auto listen = [&spans](Core* core) {
+      const int track = core->id();
+      core->set_span_listener([&spans, track](CpuModule mod, TimeNs start, TimeNs end) {
+        spans.Record(track, CpuModuleName(mod), start, end);
+      });
+    };
+    spans.SetTrackName(slowpath_core_->id(), "slowpath-core");
+    listen(slowpath_core_.get());
+    for (auto& core : fastpath_cores_) {
+      spans.SetTrackName(core->id(), "fastpath-core-" + std::to_string(core->id()));
+      listen(core.get());
+    }
+  }
+
+  if (config_.trace.sample_period > 0) {
+    TimeSeriesSampler& sampler = tracer_->sampler();
+    const size_t max_pts = config_.trace.series_max_points;
+    // Per-core utilization over each sample window (fraction busy since the
+    // previous sweep). The window state lives in the hook's closure.
+    struct UtilWindow {
+      std::vector<TimeNs> busy;
+      TimeNs last = 0;
+    };
+    auto win = std::make_shared<UtilWindow>();
+    win->busy.resize(fastpath_cores_.size() + 1, 0);
+    sampler.AddSweepHook([this, win, max_pts](TimeNs now) {
+      TimeSeriesSampler& s = tracer_->sampler();
+      const TimeNs window = now - win->last;
+      const auto util = [window](TimeNs busy_delta) {
+        return window > 0
+                   ? std::clamp(static_cast<double>(busy_delta) / static_cast<double>(window),
+                                0.0, 1.0)
+                   : 0.0;
+      };
+      for (size_t i = 0; i < fastpath_cores_.size(); ++i) {
+        const TimeNs busy = fastpath_cores_[i]->busy_ns();
+        s.Series("tas.core." + std::to_string(i) + ".util", max_pts)
+            .Append(now, util(busy - win->busy[i]));
+        win->busy[i] = busy;
+      }
+      const TimeNs sp_busy = slowpath_core_->busy_ns();
+      s.Series("tas.core.slow.util", max_pts).Append(now, util(sp_busy - win->busy.back()));
+      win->busy.back() = sp_busy;
+      win->last = now;
+    });
+    if (config_.trace.sample_flows) {
+      sampler.AddSweepHook([this, max_pts](TimeNs now) {
+        TimeSeriesSampler& s = tracer_->sampler();
+        for (size_t i = 0; i < flows_.size(); ++i) {
+          const Flow* f = flows_[i].get();
+          if (f == nullptr || f->cstate == ConnState::kFreed) {
+            continue;
+          }
+          const std::string p = "flow." + std::to_string(i) + ".";
+          if (f->cc_window > 0) {
+            s.Series(p + "cwnd_bytes", max_pts)
+                .Append(now, static_cast<double>(f->cc_window));
+          } else {
+            s.Series(p + "rate_mbps", max_pts).Append(now, f->rate_bps / 1e6);
+          }
+          s.Series(p + "inflight_bytes", max_pts)
+              .Append(now, static_cast<double>(f->fs.tx_sent));
+          s.Series(p + "rx_buf_used", max_pts).Append(now, static_cast<double>(f->RxUsed()));
+          s.Series(p + "tx_buf_used", max_pts)
+              .Append(now, static_cast<double>(f->TxQueued()));
+          s.Series(p + "rtt_us", max_pts).Append(now, static_cast<double>(f->fs.rtt_est));
+        }
+      });
+    }
+    sampler.Start(config_.trace.sample_period);
   }
 }
 
@@ -226,7 +333,7 @@ void TasService::SetActiveCores(int count) {
   // Eagerly re-steer incoming packets (paper §3.4); outgoing application
   // work re-routes lazily via CoreForFlow on the next scheduling decision.
   nic_->SetActiveQueues(count);
-  core_trace_.emplace_back(sim_->Now(), count);
+  core_series_->Append(sim_->Now(), static_cast<double>(count));
   // Kick newly added cores in case work is already queued for them.
   for (int i = 0; i < count; ++i) {
     fastpaths_[static_cast<size_t>(i)]->MaybeRun();

@@ -17,6 +17,7 @@
 #include "src/nic/nic.h"
 #include "src/shm/context_queue.h"
 #include "src/tas/flow.h"
+#include "src/trace/tracer.h"
 #include "src/util/rng.h"
 
 namespace tas {
@@ -61,6 +62,11 @@ struct TasConfig {
 
   // CPU cost model for the fast path side.
   const StackCostModel* costs = &TasSocketsCostModel();
+
+  // Observability (src/trace): flow-event tracing, CPU spans, periodic
+  // sampling. Everything defaults to off; the metric registry is always on
+  // (it only holds pointers into the stats structs).
+  TraceConfig trace;
 
   uint64_t rng_seed = 0x7A5;
 };
@@ -118,8 +124,15 @@ class TasService {
   FastPathCore* fastpath(int i);
   size_t num_flows() const { return live_flows_; }
   IpAddr local_ip() const;
-  // (time, active core count) trace for the Fig 14 proportionality plot.
-  const std::vector<std::pair<TimeNs, int>>& core_trace() const { return core_trace_; }
+  // The host's observability bundle: metric registry, flow-event tracer,
+  // time-series sampler, CPU span recorder, exporters (src/trace).
+  Tracer& tracer() { return *tracer_; }
+  const Tracer& tracer() const { return *tracer_; }
+  // Shorthand the fast/slow paths use on their emission sites.
+  FlowTracer& flow_trace() { return tracer_->flow_events(); }
+  // (time, active core count) series for the Fig 14 proportionality plot —
+  // an event-driven TimeSeries ("tas.active_cores") in the unified sampler.
+  const TimeSeries& core_trace() const { return *core_series_; }
 
   // --- Internal API shared by fast path / slow path / libtas ----------------
   AppContext* context(uint16_t id) { return contexts_[id]; }
@@ -146,9 +159,14 @@ class TasService {
 
  private:
   void DrainContextCommands(uint16_t context_id);
+  // Wires every subsystem into the tracer: metric registration, CPU span
+  // listeners, per-core / per-flow sampling probes. Runs once from the ctor.
+  void RegisterTraceInstrumentation();
 
   Simulator* sim_;
   TasConfig config_;
+  // Declared before the subsystems whose gauges/listeners reference it.
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<SimNic> nic_;
   std::unique_ptr<Core> slowpath_core_;
   std::vector<std::unique_ptr<Core>> fastpath_cores_;
@@ -163,7 +181,7 @@ class TasService {
   uint16_t next_ephemeral_ = 20000;
   std::vector<uint32_t> port_use_count_ = std::vector<uint32_t>(65536, 0);
   int active_cores_ = 1;
-  std::vector<std::pair<TimeNs, int>> core_trace_;
+  TimeSeries* core_series_ = nullptr;  // Owned by tracer_->sampler().
   TasStats stats_;
   Rng rng_;
 };

@@ -16,6 +16,10 @@ namespace {
 constexpr uint64_t kExceptionCycles = 600;
 constexpr uint64_t kCcIterationCycles = 120;
 
+// Synthetic span track for control-loop iterations (distinct from the
+// slow-path core's Charge track so iteration boundaries stay visible).
+constexpr int kControlLoopTrack = 1001;
+
 uint32_t NowUs(Simulator* sim) { return static_cast<uint32_t>(sim->Now() / kNsPerUs); }
 
 }  // namespace
@@ -25,6 +29,9 @@ SlowPath::SlowPath(TasService* service, Core* cpu) : service_(service), cpu_(cpu
 SlowPath::~SlowPath() = default;
 
 void SlowPath::Start() {
+  if (service_->tracer().spans().enabled()) {
+    service_->tracer().spans().SetTrackName(kControlLoopTrack, "slowpath-control");
+  }
   cc_task_ = std::make_unique<PeriodicTask>(service_->sim(), service_->config().control_interval,
                                             [this] { ControlLoop(); });
   cc_task_->Start();
@@ -48,10 +55,10 @@ void SlowPath::MaybeProcess() {
   exceptions_.pop_front();
   const TimeNs done = cpu_->Charge(CpuModule::kTcp, kExceptionCycles);
   busy_ = true;
-  auto* raw = pkt.release();
-  service_->sim()->At(done, [this, raw] {
+  auto held = std::make_shared<PacketPtr>(std::move(pkt));
+  service_->sim()->At(done, [this, held] {
     busy_ = false;
-    HandleException(PacketPtr(raw));
+    HandleException(std::move(*held));
     MaybeProcess();
   });
 }
@@ -122,9 +129,12 @@ void SlowPath::HandleSyn(const Packet& pkt) {
     flow.ts_echo = pkt.tcp.ts_val;
   }
   flow.cstate = ConnState::kSynRcvd;
+  service_->flow_trace().Record(service_->sim()->Now(), id, FlowEventType::kSynRx, irs);
+  TraceState(id, flow);
   // Charge the heavier half of connection setup on the passive side.
   cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_setup / 2);
   SendSynAck(flow);
+  service_->flow_trace().Record(service_->sim()->Now(), id, FlowEventType::kSynTx, 1);
   AddPending(id, flow);
 }
 
@@ -133,6 +143,7 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
     flow.ts_echo = pkt.tcp.ts_val;
   }
   if (pkt.tcp.rst()) {
+    service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kRstRx);
     if (flow.cstate == ConnState::kSynSent) {
       service_->context(flow.fs.context)
           ->PushEvent(AppEvent{AppEventType::kConnOpenFailed, flow.fs.opaque, flow_id});
@@ -147,6 +158,8 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
     case ConnState::kSynSent: {
       if (pkt.tcp.syn() && pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq) {
         const uint32_t irs = pkt.tcp.seq;
+        service_->flow_trace().Record(service_->sim()->Now(), flow_id,
+                                      FlowEventType::kSynRx, irs);
         flow.fs.ack = irs + 1;
         flow.fs.rx_head = irs + 1;
         flow.fs.rx_tail = irs + 1;
@@ -197,6 +210,7 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
         if (flow.cstate == ConnState::kTimeWait) {
           flow.timewait_start = service_->sim()->Now();
         }
+        TraceState(flow_id, flow);
       }
       return false;
     }
@@ -225,6 +239,8 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
 }
 
 void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kFinRx,
+                                pkt.tcp.seq);
   // Deliver any payload riding with the FIN if it is in order.
   uint32_t fin_seq = pkt.tcp.seq;
   if (!pkt.payload.empty()) {
@@ -249,6 +265,7 @@ void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
   switch (flow.cstate) {
     case ConnState::kEstablished:
       flow.cstate = ConnState::kCloseWait;
+      TraceState(flow_id, flow);
       NotifyClosed(flow);
       AddPending(flow_id, flow);
       break;
@@ -256,11 +273,13 @@ void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
       flow.cstate = flow.fin_acked ? ConnState::kTimeWait : ConnState::kFinWait1;
       if (flow.cstate == ConnState::kTimeWait) {
         flow.timewait_start = service_->sim()->Now();
+        TraceState(flow_id, flow);
       }
       break;
     case ConnState::kFinWait2:
       flow.cstate = ConnState::kTimeWait;
       flow.timewait_start = service_->sim()->Now();
+      TraceState(flow_id, flow);
       break;
     default:
       break;
@@ -274,8 +293,10 @@ void SlowPath::CmdListen(uint16_t port, uint64_t opaque, uint16_t context) {
 void SlowPath::CmdConnect(FlowId flow_id) {
   Flow* flow = service_->flow_by_id(flow_id);
   TAS_CHECK(flow != nullptr);
+  TraceState(flow_id, *flow);  // kSynSent (TasService::Connect set it).
   cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_setup / 2);
   SendSyn(*flow);
+  service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kSynTx, 0);
   AddPending(flow_id, *flow);
 }
 
@@ -305,7 +326,10 @@ void SlowPath::TrySendFin(FlowId flow_id, Flow& flow) {
   flow.fin_sent = true;
   flow.cstate =
       flow.cstate == ConnState::kEstablished ? ConnState::kFinWait1 : ConnState::kLastAck;
+  TraceState(flow_id, flow);
   SendFin(flow);
+  service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kFinTx,
+                                flow.fs.seq);
 }
 
 void SlowPath::SendSyn(Flow& flow) {
@@ -377,6 +401,7 @@ void SlowPath::Establish(FlowId flow_id, Flow& flow, bool from_listener) {
   flow.established_at = service_->sim()->Now();
   flow.ctrl_retries = 0;
   service_->mutable_stats().connections_established++;
+  TraceState(flow_id, flow);
   if (from_listener) {
     service_->context(flow.fs.context)
         ->PushEvent(AppEvent{AppEventType::kAcceptable, flow.fs.opaque, flow_id});
@@ -405,8 +430,14 @@ void SlowPath::ReleaseFlow(FlowId flow_id, Flow& flow) {
   }
   NotifyClosed(flow);
   flow.cstate = ConnState::kFreed;
+  TraceState(flow_id, flow);
   service_->mutable_stats().connections_closed++;
   service_->FreeFlow(flow_id);
+}
+
+void SlowPath::TraceState(FlowId flow_id, const Flow& flow) {
+  service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kConnState,
+                                static_cast<uint64_t>(flow.cstate));
 }
 
 void SlowPath::AddPending(FlowId flow_id, Flow& flow) {
@@ -418,6 +449,7 @@ void SlowPath::AddPending(FlowId flow_id, Flow& flow) {
 }
 
 void SlowPath::ControlLoop() {
+  const TimeNs busy_before = cpu_->busy_until();
   // Congestion control for flows with recent activity (paper: the slow path
   // runs a control-loop iteration per flow every control interval; flows
   // without feedback and without outstanding data have nothing to update).
@@ -432,6 +464,15 @@ void SlowPath::ControlLoop() {
     RunCongestionControl(id, *flow);
   }
   ScanPending();
+  SpanRecorder& spans = service_->tracer().spans();
+  if (spans.enabled()) {
+    // The iteration's charges occupy [max(now, prior busy), new busy front).
+    const TimeNs start = std::max(service_->sim()->Now(), busy_before);
+    const TimeNs end = cpu_->busy_until();
+    if (end > start) {
+      spans.Record(kControlLoopTrack, "control_loop", start, end);
+    }
+  }
 }
 
 void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
@@ -473,6 +514,9 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
     // Instruct the fast path to reset and retransmit.
     flow.fs.seq = flow.fs.tx_tail;
     flow.fs.tx_sent = 0;
+    service_->flow_trace().Record(service_->sim()->Now(), flow_id,
+                                  FlowEventType::kTimeoutRetransmit, flow.fs.tx_tail,
+                                  static_cast<uint64_t>(service_->config().rto_stall_intervals));
     service_->ScheduleFlowTx(flow_id, 0);
   }
 
@@ -489,6 +533,19 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
     flow.cc_window = flow.wcc->cwnd();
   } else {
     flow.rate_bps = flow.cc->Update(feedback);
+  }
+  if (service_->flow_trace().enabled(flow_id)) {
+    // ECN fraction of acked bytes in parts per million (fits the integer slot).
+    const uint64_t ecn_ppm =
+        feedback.acked_bytes > 0
+            ? feedback.ecn_bytes * 1'000'000u / feedback.acked_bytes
+            : 0;
+    const uint64_t limit = flow.wcc != nullptr
+                               ? flow.cc_window
+                               : static_cast<uint64_t>(flow.rate_bps);
+    service_->flow_trace().Record(service_->sim()->Now(), flow_id,
+                                  FlowEventType::kCcUpdate, limit, ecn_ppm,
+                                  static_cast<uint64_t>(flow.fs.rtt_est));
   }
   flow.fs.cnt_ackb = 0;
   flow.fs.cnt_ecnb = 0;
@@ -526,9 +583,11 @@ void SlowPath::ScanPending() {
             still_pending = false;
           } else if (flow.cstate == ConnState::kSynSent) {
             service_->mutable_stats().handshake_retransmits++;
+            service_->flow_trace().Record(now, id, FlowEventType::kHandshakeRetransmit, 1);
             SendSyn(flow);
           } else {
             service_->mutable_stats().handshake_retransmits++;
+            service_->flow_trace().Record(now, id, FlowEventType::kHandshakeRetransmit, 2);
             SendSynAck(flow);
           }
         }
@@ -551,6 +610,7 @@ void SlowPath::ScanPending() {
             ReleaseFlow(id, flow);
             still_pending = false;
           } else {
+            service_->flow_trace().Record(now, id, FlowEventType::kHandshakeRetransmit, 3);
             SendFin(flow);
           }
         }

@@ -65,6 +65,9 @@ class SlowPath {
   void ScanPending();
   void MonitorCores();
 
+  // Records a kConnState flow event for the flow's current state.
+  void TraceState(FlowId flow_id, const Flow& flow);
+
   TasService* service_;
   Core* cpu_;
   std::deque<PacketPtr> exceptions_;

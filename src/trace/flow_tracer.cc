@@ -1,0 +1,102 @@
+#include "src/trace/flow_tracer.h"
+
+#include "src/trace/metric_registry.h"
+#include "src/util/logging.h"
+
+namespace tas {
+namespace {
+
+struct TypeInfo {
+  const char* name;
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+const TypeInfo& InfoFor(FlowEventType type) {
+  static const TypeInfo kInfo[] = {
+      {"conn_state", "state", "", ""},
+      {"syn_tx", "is_synack", "", ""},
+      {"syn_rx", "peer_isn", "", ""},
+      {"fin_tx", "seq", "", ""},
+      {"fin_rx", "seq", "", ""},
+      {"rst_rx", "", "", ""},
+      {"data_tx", "seq", "len", "tx_sent"},
+      {"data_rx", "seq", "len", "delivered"},
+      {"ack_tx", "ack", "ecn_echo", ""},
+      {"ack_rx", "ack", "acked", "ece"},
+      {"dup_ack", "count", "", ""},
+      {"fast_retransmit", "rewind_seq", "", ""},
+      {"timeout_retransmit", "rewind_seq", "stalled_intervals", ""},
+      {"handshake_retransmit", "kind", "", ""},
+      {"ooo_accept", "seq", "len", "interval_len"},
+      {"ooo_drop", "seq", "len", ""},
+      {"rx_buffer_drop", "seq", "len", ""},
+      {"cc_update", "rate_or_cwnd", "ecn_ppm", "rtt_us"},
+  };
+  const size_t index = static_cast<size_t>(type);
+  TAS_CHECK(index < sizeof(kInfo) / sizeof(kInfo[0]));
+  return kInfo[index];
+}
+
+}  // namespace
+
+const char* FlowEventTypeName(FlowEventType type) { return InfoFor(type).name; }
+
+void FlowEventArgNames(FlowEventType type, const char** a, const char** b, const char** c) {
+  const TypeInfo& info = InfoFor(type);
+  *a = info.a;
+  *b = info.b;
+  *c = info.c;
+}
+
+FlowTracer::FlowTracer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
+
+void FlowTracer::RecordSlow(TimeNs t, uint64_t flow, FlowEventType type, uint64_t a,
+                            uint64_t b, uint64_t c) {
+  if (!enabled(flow)) {
+    return;
+  }
+  ring_[head_] = FlowEvent{t, flow, type, a, b, c};
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+  ++recorded_;
+}
+
+std::vector<FlowEvent> FlowTracer::Events() const {
+  std::vector<FlowEvent> out;
+  out.reserve(size_);
+  // Oldest record: head_ when the ring wrapped, slot 0 otherwise.
+  const size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlowTracer::Clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+void FlowTracer::WriteJsonl(std::ostream& os) const {
+  for (const FlowEvent& e : Events()) {
+    const TypeInfo& info = InfoFor(e.type);
+    os << "{\"t\":" << e.t << ",\"flow\":" << e.flow << ",\"type\":\"" << info.name << '"';
+    if (info.a[0] != '\0') {
+      os << ",\"" << info.a << "\":" << e.a;
+    }
+    if (info.b[0] != '\0') {
+      os << ",\"" << info.b << "\":" << e.b;
+    }
+    if (info.c[0] != '\0') {
+      os << ",\"" << info.c << "\":" << e.c;
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace tas

@@ -1,0 +1,110 @@
+// Per-flow event tracer: a bounded ring of typed records stamped with
+// simulator time and flow id. The fast and slow paths emit one record per
+// interesting protocol event (handshake transitions, data/ACK tx+rx,
+// dupacks, retransmits, out-of-order handling, congestion-control updates);
+// the ring overwrites its oldest records when full, so a long run keeps the
+// most recent window at fixed memory cost.
+//
+// Tracing is off by default. It can be enabled for every flow (global) or
+// per flow id; the disabled-path cost is one inline branch per call site.
+#ifndef SRC_TRACE_FLOW_TRACER_H_
+#define SRC_TRACE_FLOW_TRACER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace tas {
+
+enum class FlowEventType : uint8_t {
+  kConnState,           // a = ConnState enum value after the transition.
+  kSynTx,               // a = 1 if SYN-ACK, 0 if SYN.
+  kSynRx,               // a = peer ISN.
+  kFinTx,               // a = wire seq of the FIN.
+  kFinRx,               // a = wire seq of the FIN.
+  kRstRx,
+  kDataTx,              // a = wire seq, b = len, c = tx_sent after send.
+  kDataRx,              // a = wire seq, b = len, c = bytes delivered (0 = dup).
+  kAckTx,               // a = ack, b = 1 if ECN echo set.
+  kAckRx,               // a = ack, b = newly acked bytes, c = 1 if ECE.
+  kDupAck,              // a = duplicate-ack count.
+  kFastRetransmit,      // a = rewind-to seq (tx_tail).
+  kTimeoutRetransmit,   // a = rewind-to seq, b = stalled interval count.
+  kHandshakeRetransmit, // a = 1 SYN, 2 SYN-ACK, 3 FIN.
+  kOooAccept,           // a = wire seq, b = len, c = interval length after.
+  kOooDrop,             // a = wire seq, b = len.
+  kRxBufferDrop,        // a = wire seq, b = len.
+  kCcUpdate,            // a = rate [bps] or cwnd [bytes], b = ECN ppm, c = rtt us.
+};
+
+// Stable lower_snake name used in JSONL/Perfetto output.
+const char* FlowEventTypeName(FlowEventType type);
+// Names for the generic a/b/c payload slots of this event type.
+void FlowEventArgNames(FlowEventType type, const char** a, const char** b, const char** c);
+
+struct FlowEvent {
+  TimeNs t = 0;
+  uint64_t flow = 0;
+  FlowEventType type = FlowEventType::kConnState;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+class FlowTracer {
+ public:
+  explicit FlowTracer(size_t capacity = 1u << 16);
+
+  // Global switch: record events for every flow.
+  void SetGlobal(bool enabled) { global_ = enabled; }
+  bool global() const { return global_; }
+  // Per-flow opt-in (effective when the global switch is off).
+  void EnableFlow(uint64_t flow) { per_flow_.insert(flow); }
+  void DisableFlow(uint64_t flow) { per_flow_.erase(flow); }
+
+  // True if any Record call could store something — call sites may use this
+  // to skip argument marshalling, but Record itself is safe to call always.
+  bool active() const { return global_ || !per_flow_.empty(); }
+  bool enabled(uint64_t flow) const {
+    return global_ || (!per_flow_.empty() && per_flow_.count(flow) != 0);
+  }
+
+  void Record(TimeNs t, uint64_t flow, FlowEventType type, uint64_t a = 0, uint64_t b = 0,
+              uint64_t c = 0) {
+    if (!global_ && per_flow_.empty()) {
+      return;
+    }
+    RecordSlow(t, flow, type, a, b, c);
+  }
+
+  // Records currently retained, oldest first (ring order).
+  std::vector<FlowEvent> Events() const;
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t recorded() const { return recorded_; }
+  // Records overwritten because the ring wrapped.
+  uint64_t overwritten() const { return recorded_ - size_; }
+  void Clear();
+
+  // One JSON object per line, typed arg names:
+  //   {"t":1234,"flow":0,"type":"data_tx","seq":17,"len":1448,"tx_sent":2896}
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  void RecordSlow(TimeNs t, uint64_t flow, FlowEventType type, uint64_t a, uint64_t b,
+                  uint64_t c);
+
+  bool global_ = false;
+  std::unordered_set<uint64_t> per_flow_;
+  std::vector<FlowEvent> ring_;
+  size_t head_ = 0;  // Next write slot.
+  size_t size_ = 0;  // Valid records (<= capacity).
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TRACE_FLOW_TRACER_H_

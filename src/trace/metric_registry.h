@@ -1,0 +1,89 @@
+// MetricRegistry: one named namespace for every counter and gauge in the
+// system. Subsystems keep owning their stats storage (TasStats, LinkStats,
+// per-Core cycle arrays stay exactly where they are) and register *views*
+// here — a pointer for monotone counters, a callback for gauges — so a
+// snapshot walks live values without copying anything on the hot path.
+//
+// Naming scheme (DESIGN.md §7): dot-separated, lower_snake leaf, e.g.
+//   tas.fastpath.rx_packets     nic.rx_drops        link.h0.d0.tx_bytes
+//   sim.max_pending_events      tas.core.2.busy_ns  tas.slowpath.control_iterations
+// Prefixes identify the owning component instance; registries are per-host
+// (TasService) or per-experiment, so prefixes only need local uniqueness.
+#ifndef SRC_TRACE_METRIC_REGISTRY_H_
+#define SRC_TRACE_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tas {
+
+enum class MetricKind : uint8_t {
+  kCounter,  // Monotone event count; snapshot diffs subtract.
+  kGauge,    // Point-in-time level; snapshot diffs keep the newer value.
+};
+
+const char* MetricKindName(MetricKind kind);
+
+// One metric's value at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;
+};
+
+// A point-in-time capture of every registered metric, sorted by name.
+using MetricSnapshot = std::vector<MetricSample>;
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Registers a counter backed by caller-owned storage. The pointer must
+  // outlive the registry (stats structs and the registry share an owner in
+  // practice: the service or the experiment).
+  void AddCounter(std::string name, const uint64_t* value);
+  // Counter whose value is computed on demand (e.g. Simulator accessors).
+  void AddCounterFn(std::string name, std::function<uint64_t()> fn);
+  // Gauge sampled via callback at snapshot time.
+  void AddGauge(std::string name, std::function<double()> fn);
+
+  bool Has(const std::string& name) const;
+  size_t size() const { return entries_.size(); }
+
+  MetricSnapshot Snapshot() const;
+  // Counters: after - before (new entries keep their value). Gauges: the
+  // `after` value. Entries only in `before` are dropped.
+  static MetricSnapshot Diff(const MetricSnapshot& before, const MetricSnapshot& after);
+
+  // One JSON object per line: {"name":"...","kind":"counter","value":123}.
+  static void WriteJsonl(const MetricSnapshot& snapshot, std::ostream& os);
+  void WriteJsonl(std::ostream& os) const { WriteJsonl(Snapshot(), os); }
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    const uint64_t* counter = nullptr;      // kCounter, pointer-backed.
+    std::function<uint64_t()> counter_fn;   // kCounter, computed.
+    std::function<double()> gauge_fn;       // kGauge.
+  };
+
+  void Add(Entry entry);
+
+  std::vector<Entry> entries_;
+};
+
+// Writes a JSON-escaped string literal (including the quotes).
+void JsonEscape(const std::string& s, std::ostream& os);
+// Formats a double compactly and deterministically: integral values print as
+// integers, everything else with enough digits to round-trip visually.
+std::string JsonNumber(double v);
+
+}  // namespace tas
+
+#endif  // SRC_TRACE_METRIC_REGISTRY_H_

@@ -1,0 +1,144 @@
+#include "src/trace/tracer.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace tas {
+namespace {
+
+// Chrome trace-event timestamps are microseconds; keep nanosecond precision
+// with three decimals. Fixed-format so output is byte-stable across runs.
+std::string TsUs(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  return buf;
+}
+
+constexpr int kPid = 1;
+// Flow tracks sit far above any simulated core id.
+constexpr uint64_t kFlowTrackBase = 1u << 20;
+
+}  // namespace
+
+Tracer::Tracer(Simulator* sim, const TraceConfig& config)
+    : config_(config),
+      flow_events_(config.flow_event_capacity),
+      sampler_(sim),
+      spans_(config.span_capacity) {
+  flow_events_.SetGlobal(config.flow_events);
+  spans_.SetEnabled(config.cpu_spans);
+}
+
+void Tracer::WritePerfettoJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"args\":{\"name\":\"tas\"}}";
+
+  for (const auto& [track, name] : spans_.track_names()) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << track
+       << ",\"args\":{\"name\":";
+    JsonEscape(name, os);
+    os << "}}";
+  }
+
+  // CPU busy spans as complete ("X") events.
+  for (const TraceSpan& span : spans_.spans()) {
+    sep();
+    os << "{\"name\":\"" << span.name << "\",\"cat\":\"cpu\",\"ph\":\"X\",\"ts\":"
+       << TsUs(span.start) << ",\"dur\":" << TsUs(span.end - span.start)
+       << ",\"pid\":" << kPid << ",\"tid\":" << span.track << "}";
+  }
+
+  // Flow events as instant ("i") events, one synthetic track per flow.
+  std::vector<uint64_t> named_flows;
+  for (const FlowEvent& e : flow_events_.Events()) {
+    const uint64_t track = kFlowTrackBase + e.flow;
+    bool seen = false;
+    for (uint64_t f : named_flows) {
+      if (f == e.flow) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      named_flows.push_back(e.flow);
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << track
+         << ",\"args\":{\"name\":\"flow-" << e.flow << "\"}}";
+    }
+    sep();
+    os << "{\"name\":\"" << FlowEventTypeName(e.type)
+       << "\",\"cat\":\"flow\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << TsUs(e.t)
+       << ",\"pid\":" << kPid << ",\"tid\":" << track << ",\"args\":{\"flow\":" << e.flow;
+    const char* an;
+    const char* bn;
+    const char* cn;
+    FlowEventArgNames(e.type, &an, &bn, &cn);
+    if (an[0] != '\0') {
+      os << ",\"" << an << "\":" << e.a;
+    }
+    if (bn[0] != '\0') {
+      os << ",\"" << bn << "\":" << e.b;
+    }
+    if (cn[0] != '\0') {
+      os << ",\"" << cn << "\":" << e.c;
+    }
+    os << "}}";
+  }
+
+  // Time series as counter ("C") tracks.
+  for (const auto& series : sampler_.series()) {
+    for (const auto& [t, v] : series->points()) {
+      sep();
+      os << "{\"name\":";
+      JsonEscape(series->name(), os);
+      os << ",\"ph\":\"C\",\"ts\":" << TsUs(t) << ",\"pid\":" << kPid
+         << ",\"args\":{\"value\":" << JsonNumber(v) << "}}";
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool Tracer::WriteAll(const std::string& prefix) const {
+  struct Out {
+    const char* suffix;
+    void (Tracer::*write)(std::ostream&) const;
+  };
+  const Out outs[] = {
+      {".metrics.jsonl", &Tracer::WriteMetricsJsonl},
+      {".flow_events.jsonl", &Tracer::WriteFlowEventsJsonl},
+      {".timeseries.jsonl", &Tracer::WriteTimeSeriesJsonl},
+      {".perfetto.json", &Tracer::WritePerfettoJson},
+  };
+  for (const Out& out : outs) {
+    std::ofstream os(prefix + out.suffix);
+    if (!os) {
+      return false;
+    }
+    (this->*out.write)(os);
+  }
+  return true;
+}
+
+void RegisterSimulatorMetrics(MetricRegistry* registry, const Simulator* sim,
+                              const std::string& prefix) {
+  registry->AddCounterFn(prefix + ".events_executed", [sim] { return sim->events_executed(); });
+  registry->AddGauge(prefix + ".pending_events",
+                     [sim] { return static_cast<double>(sim->pending_events()); });
+  registry->AddGauge(prefix + ".max_pending_events",
+                     [sim] { return static_cast<double>(sim->max_pending_events()); });
+}
+
+}  // namespace tas

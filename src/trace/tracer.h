@@ -1,0 +1,133 @@
+// Tracer: the per-host observability bundle — a MetricRegistry every
+// subsystem registers into, a FlowTracer for per-flow protocol events, a
+// TimeSeriesSampler for plot-ready series, and a SpanRecorder for CPU busy
+// intervals — plus the exporters: JSONL dumps for metrics / flow events /
+// time series, and a Chrome trace-event JSON (load in https://ui.perfetto.dev
+// or chrome://tracing) that renders fast-path core busy spans, slow-path
+// control iterations, per-flow event tracks, and time-series counter tracks
+// on one timeline.
+#ifndef SRC_TRACE_TRACER_H_
+#define SRC_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/trace/flow_tracer.h"
+#include "src/trace/metric_registry.h"
+#include "src/trace/timeseries.h"
+
+namespace tas {
+
+// Knobs carried by TasConfig::trace (and usable standalone). Everything is
+// off by default; a default-constructed Tracer costs one branch per
+// instrumentation site.
+struct TraceConfig {
+  // Per-flow protocol events for ALL flows (FlowTracer::EnableFlow opts in
+  // individual flows when this is false).
+  bool flow_events = false;
+  size_t flow_event_capacity = 1u << 16;
+  // CPU busy spans (per-core Charge intervals + slow-path control loops).
+  bool cpu_spans = false;
+  size_t span_capacity = 1u << 16;
+  // Periodic sampling of registered probes; 0 disables the sweep task.
+  TimeNs sample_period = 0;
+  // Also sample per-flow cc rate/window, bytes in flight, and buffer
+  // occupancy into one series per live flow (needs sample_period > 0).
+  bool sample_flows = false;
+  size_t series_max_points = 4096;
+};
+
+// One contiguous busy interval on a track (track = simulated core id, or a
+// synthetic id for logical tracks like the slow-path control loop).
+struct TraceSpan {
+  int track = 0;
+  const char* name = "";  // Must point at static storage.
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(size_t capacity = 1u << 16) : capacity_(capacity) {}
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(int track, const char* name, TimeNs start, TimeNs end) {
+    if (!enabled_) {
+      return;
+    }
+    if (spans_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(TraceSpan{track, name, start, end});
+  }
+
+  // Human-readable track label for the Perfetto thread-name metadata.
+  void SetTrackName(int track, std::string name) { track_names_[track] = std::move(name); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::map<int, std::string>& track_names() const { return track_names_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_;
+  std::vector<TraceSpan> spans_;
+  std::map<int, std::string> track_names_;  // Ordered for deterministic export.
+  uint64_t dropped_ = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(Simulator* sim, const TraceConfig& config = TraceConfig{});
+
+  const TraceConfig& config() const { return config_; }
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  FlowTracer& flow_events() { return flow_events_; }
+  const FlowTracer& flow_events() const { return flow_events_; }
+  TimeSeriesSampler& sampler() { return sampler_; }
+  const TimeSeriesSampler& sampler() const { return sampler_; }
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+
+  // --- Exporters ------------------------------------------------------------
+  void WriteMetricsJsonl(std::ostream& os) const { metrics_.WriteJsonl(os); }
+  void WriteFlowEventsJsonl(std::ostream& os) const { flow_events_.WriteJsonl(os); }
+  void WriteTimeSeriesJsonl(std::ostream& os) const { sampler_.WriteJsonl(os); }
+  // Chrome trace-event format: CPU spans as complete events ("ph":"X"),
+  // flow events as instants on per-flow tracks, time series as counters.
+  void WritePerfettoJson(std::ostream& os) const;
+
+  // Writes <prefix>.metrics.jsonl, <prefix>.flow_events.jsonl,
+  // <prefix>.timeseries.jsonl and <prefix>.perfetto.json. Returns false if
+  // any file could not be opened.
+  bool WriteAll(const std::string& prefix) const;
+
+ private:
+  TraceConfig config_;
+  MetricRegistry metrics_;
+  FlowTracer flow_events_;
+  TimeSeriesSampler sampler_;
+  SpanRecorder spans_;
+};
+
+// Registers the simulator's dispatch metrics (events executed, pending
+// events, pending high-water mark) under the "sim." prefix.
+void RegisterSimulatorMetrics(MetricRegistry* registry, const Simulator* sim,
+                              const std::string& prefix = "sim");
+
+}  // namespace tas
+
+#endif  // SRC_TRACE_TRACER_H_

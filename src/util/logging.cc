@@ -1,11 +1,38 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cstring>
 
 namespace tas {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// Initial level from the TAS_LOG_LEVEL environment variable: a name
+// (debug|info|warn|error, case-sensitive) or a numeric level 0-3. Unset or
+// unparsable values keep the kInfo default.
+int InitialLogLevel() {
+  const char* env = std::getenv("TAS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -4,7 +4,10 @@
 //   TAS_LOG(INFO) << "fast path core " << core << " online";
 //   TAS_CHECK(head <= tail) << "buffer corrupt";
 //
-// Severity is filtered at runtime via SetLogLevel(); FATAL aborts.
+// Severity is filtered at runtime via SetLogLevel(); FATAL aborts. The
+// TAS_LOG_LEVEL environment variable (debug|info|warn|error, or 0-3) sets
+// the initial level before main() runs, so examples and benchmarks can turn
+// on debug logs without recompiling.
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
@@ -77,6 +80,13 @@ class LogVoidify {
                                          .stream()                                   \
                                      << "Check failed: " #cond " "
 
+// Debug-only check: full TAS_CHECK in debug builds, compiled out under
+// NDEBUG. The `true || (cond)` form keeps `cond` parsed (no unused-variable
+// warnings, no bit-rot) while letting the optimizer delete the evaluation.
+#ifdef NDEBUG
+#define TAS_DCHECK(cond) TAS_CHECK(true || (cond))
+#else
 #define TAS_DCHECK(cond) TAS_CHECK(cond)
+#endif
 
 #endif  // SRC_UTIL_LOGGING_H_

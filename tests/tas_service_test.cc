@@ -177,9 +177,9 @@ TEST_F(TasServiceFixture, SetActiveCoresRestersAndRecordsTrace) {
   EXPECT_EQ(service_->active_cores(), 2);
   service_->SetActiveCores(4);
   service_->SetActiveCores(1);
-  const auto& trace = service_->core_trace();
-  ASSERT_GE(trace.size(), 4u);
-  EXPECT_EQ(trace.back().second, 1);
+  const auto& points = service_->core_trace().points();
+  ASSERT_GE(points.size(), 4u);
+  EXPECT_EQ(points.back().second, 1.0);
   // All RSS entries now point at queue 0.
   for (int i = 0; i < 128; ++i) {
     EXPECT_EQ(service_->nic()->RedirectionEntryQueue(i), 0);

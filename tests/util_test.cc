@@ -142,6 +142,49 @@ TEST(RunningStatsTest, MergeEqualsCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
 }
 
+TEST(RunningStatsTest, MergeEmptyCases) {
+  RunningStats filled;
+  for (int i = 1; i <= 10; ++i) {
+    filled.Add(i);
+  }
+  RunningStats empty;
+  // Merging an empty accumulator is a no-op.
+  RunningStats a = filled;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), filled.variance());
+  // Merging into an empty accumulator copies the other side exactly.
+  RunningStats b;
+  b.Merge(filled);
+  EXPECT_EQ(b.count(), 10u);
+  EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 10.0);
+  EXPECT_DOUBLE_EQ(b.sum(), filled.sum());
+}
+
+TEST(RunningStatsTest, MergeUnevenSplitMatchesSinglePass) {
+  // Split the stream 1:9 (not interleaved) so the pairwise-merge math is
+  // exercised with very different counts and means on each side.
+  RunningStats head;
+  RunningStats tail;
+  RunningStats all;
+  Rng rng(91);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextExp(3.0) + (i < 500 ? 100.0 : 0.0);
+    (i < 500 ? head : tail).Add(v);
+    all.Add(v);
+  }
+  head.Merge(tail);
+  EXPECT_EQ(head.count(), all.count());
+  EXPECT_NEAR(head.mean(), all.mean(), 1e-9 * all.mean());
+  EXPECT_NEAR(head.variance(), all.variance(), 1e-6 * all.variance());
+  EXPECT_DOUBLE_EQ(head.min(), all.min());
+  EXPECT_DOUBLE_EQ(head.max(), all.max());
+  EXPECT_NEAR(head.sum(), all.sum(), 1e-6);
+}
+
 TEST(LatencyRecorderTest, ExactPercentiles) {
   LatencyRecorder rec;
   for (int i = 1; i <= 100; ++i) {
@@ -162,6 +205,23 @@ TEST(LatencyRecorderTest, ReservoirBounded) {
   EXPECT_EQ(rec.count(), 100000u);
   // Percentiles still roughly correct from the reservoir.
   EXPECT_NEAR(rec.Median(), 50, 10);
+}
+
+TEST(LatencyRecorderTest, ReservoirDeterministicAcrossRuns) {
+  // The reservoir uses a fixed internal seed, so two recorders fed the same
+  // sample stream must retain identical reservoirs — even far past capacity.
+  LatencyRecorder a(512);
+  LatencyRecorder b(512);
+  Rng ra(77);
+  Rng rb(77);
+  for (int i = 0; i < 50000; ++i) {
+    a.Add(ra.NextExp(5.0));
+    b.Add(rb.NextExp(5.0));
+  }
+  EXPECT_EQ(a.count(), b.count());
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), b.Percentile(p)) << "p=" << p;
+  }
 }
 
 TEST(LatencyRecorderTest, CdfMonotone) {
@@ -335,6 +395,38 @@ TEST(LogHistogramTest, PercentileBuckets) {
   EXPECT_EQ(hist.count(), 1001u);
   EXPECT_LT(hist.ApproxPercentile(50), 256u);
   EXPECT_GT(hist.ApproxPercentile(99.99), 60000u);
+}
+
+TEST(LogHistogramTest, ApproxPercentileEmpty) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.ApproxPercentile(0), 0u);
+  EXPECT_EQ(hist.ApproxPercentile(50), 0u);
+  EXPECT_EQ(hist.ApproxPercentile(100), 0u);
+}
+
+TEST(LogHistogramTest, ApproxPercentileSingleBucket) {
+  // All samples land in one power-of-two bucket; every percentile > 0
+  // reports that bucket's upper bound.
+  LogHistogram hist;
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(100);  // Bucket [64, 127].
+  }
+  EXPECT_EQ(hist.ApproxPercentile(1), 127u);
+  EXPECT_EQ(hist.ApproxPercentile(50), 127u);
+  EXPECT_EQ(hist.ApproxPercentile(100), 127u);
+}
+
+TEST(LogHistogramTest, ApproxPercentileBoundaries) {
+  LogHistogram hist;
+  hist.Add(0);     // Bucket 0 (upper bound 0).
+  hist.Add(1000);  // Bucket [512, 1023].
+  // p=0 needs zero cumulative count: satisfied by the very first bucket.
+  EXPECT_EQ(hist.ApproxPercentile(0), 0u);
+  // p=100 must walk to the bucket holding the largest sample.
+  EXPECT_EQ(hist.ApproxPercentile(100), 1023u);
+  // Zero values live in bucket 0 and report an upper bound of 0.
+  EXPECT_EQ(hist.ApproxPercentile(50), 0u);
 }
 
 TEST(RateCounterTest, Rates) {
