@@ -1,0 +1,234 @@
+// Allocation audit for the simulator hot path (DESIGN.md §8).
+//
+// This binary replaces global operator new/delete with counting wrappers and
+// proves the zero-allocation claims directly:
+//
+//   BM_SimulatorSchedule  schedule+dispatch through pooled event nodes
+//   BM_ScheduleCancel     schedule+cancel churn (tombstones, no frees)
+//   BM_PacketPoolAlloc    acquire/release through the packet free list
+//
+// Each benchmark also reports an "allocs/op" counter. After the benchmarks,
+// main() runs a steady-state audit: warm up each path, snapshot the counter,
+// run N more operations, and FAIL (nonzero exit) if any allocation happened.
+// CI runs this binary; a regression that sneaks a malloc back into the hot
+// path turns the build red.
+//
+// The counting hook must cover every operator new overload (sized, aligned,
+// nothrow) or a stray overload bypasses the audit.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "src/net/packet.h"
+#include "src/net/packet_pool.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_free_count{0};
+
+uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+void* CountedAlloc(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = std::malloc(size ? size : 1);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* CountedAlignedAlloc(size_t size, size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void CountedFree(void* ptr) {
+  if (ptr != nullptr) {
+    g_free_count.fetch_add(1, std::memory_order_relaxed);
+    std::free(ptr);
+  }
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, size_t, std::align_val_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, size_t, std::align_val_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept { CountedFree(ptr); }
+
+namespace tas {
+namespace {
+
+// Schedule + dispatch one event per iteration. After the slab warms up the
+// node and heap entry are recycled, so steady state must not allocate.
+void BM_SimulatorSchedule(benchmark::State& state) {
+  Simulator sim;
+  uint64_t sink = 0;
+  TimeNs when = 0;
+  const uint64_t allocs_before_warm = AllocCount();
+  for (auto _ : state) {
+    sim.At(when, [&sink] { ++sink; });
+    when += 10;
+    sim.RunUntil(when);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(AllocCount() - allocs_before_warm),
+      benchmark::Counter::kAvgIterations);
+}
+
+// Schedule + cancel churn: the classic timer pattern. Cancellation bumps a
+// generation and pushes nothing; the tombstone is skipped (or purged) later.
+void BM_ScheduleCancel(benchmark::State& state) {
+  Simulator sim;
+  uint64_t sink = 0;
+  TimeNs when = 0;
+  const uint64_t allocs_before_warm = AllocCount();
+  for (auto _ : state) {
+    EventHandle h = sim.At(when + 1000, [&sink] { ++sink; });
+    h.Cancel();
+    when += 10;
+    sim.RunUntil(when);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(AllocCount() - allocs_before_warm),
+      benchmark::Counter::kAvgIterations);
+}
+
+// Acquire/release through the pool free list; payload capacity is retained
+// across recycles, so steady state must not allocate.
+void BM_PacketPoolAlloc(benchmark::State& state) {
+  PacketPool pool;
+  {
+    // Warm one packet with a typical payload so capacity is in the free list.
+    PacketPtr pkt = pool.Acquire();
+    pkt->payload.resize(1448);
+  }
+  const uint64_t allocs_before_warm = AllocCount();
+  for (auto _ : state) {
+    PacketPtr pkt = pool.Acquire();
+    pkt->payload.resize(1448);
+    benchmark::DoNotOptimize(pkt->payload.data());
+  }
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(AllocCount() - allocs_before_warm),
+      benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_SimulatorSchedule);
+BENCHMARK(BM_ScheduleCancel);
+BENCHMARK(BM_PacketPoolAlloc);
+
+// --- Steady-state audit (ALLOC_AUDIT lines; CI fails on any FAIL) ----------
+
+bool AuditSimulatorSchedule() {
+  Simulator sim;
+  uint64_t sink = 0;
+  TimeNs when = 0;
+  for (int i = 0; i < 1024; ++i) {  // Warm the slab and the heap vector.
+    sim.At(when, [&sink] { ++sink; });
+    when += 10;
+    sim.RunUntil(when);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 100000; ++i) {
+    sim.At(when, [&sink] { ++sink; });
+    when += 10;
+    sim.RunUntil(when);
+  }
+  const uint64_t allocs = AllocCount() - before;
+  std::printf("ALLOC_AUDIT simulator_schedule allocs=%llu %s\n",
+              static_cast<unsigned long long>(allocs), allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
+bool AuditScheduleCancel() {
+  Simulator sim;
+  uint64_t sink = 0;
+  TimeNs when = 0;
+  for (int i = 0; i < 1024; ++i) {
+    EventHandle h = sim.At(when + 1000, [&sink] { ++sink; });
+    h.Cancel();
+    when += 10;
+    sim.RunUntil(when);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 100000; ++i) {
+    EventHandle h = sim.At(when + 1000, [&sink] { ++sink; });
+    h.Cancel();
+    when += 10;
+    sim.RunUntil(when);
+  }
+  const uint64_t allocs = AllocCount() - before;
+  std::printf("ALLOC_AUDIT schedule_cancel allocs=%llu %s\n",
+              static_cast<unsigned long long>(allocs), allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
+bool AuditPacketPool() {
+  PacketPool pool;
+  for (int i = 0; i < 64; ++i) {
+    PacketPtr pkt = pool.Acquire();
+    pkt->payload.resize(1448);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 100000; ++i) {
+    PacketPtr pkt = pool.Acquire();
+    pkt->payload.resize(1448);
+    benchmark::DoNotOptimize(pkt->payload.data());
+  }
+  const uint64_t allocs = AllocCount() - before;
+  std::printf("ALLOC_AUDIT packet_pool allocs=%llu %s\n",
+              static_cast<unsigned long long>(allocs), allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
+}  // namespace
+}  // namespace tas
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bool ok = true;
+  ok &= tas::AuditSimulatorSchedule();
+  ok &= tas::AuditScheduleCancel();
+  ok &= tas::AuditPacketPool();
+  std::printf("ALLOC_AUDIT overall %s (news=%llu frees=%llu)\n", ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(g_alloc_count.load()),
+              static_cast<unsigned long long>(g_free_count.load()));
+  return ok ? 0 : 1;
+}

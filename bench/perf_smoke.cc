@@ -1,0 +1,169 @@
+// perf_smoke: macro benchmark for simulator-core overhead.
+//
+// Drives a fig6-style pipelined RPC run (single-threaded TAS server, ideal
+// clients, pipeline depth 16) and reports how fast the simulator core chews
+// through events: events/sec, wall ns/event, ops/sec of the workload, and
+// peak RSS. Emits one machine-readable JSON line (prefixed PERF_SMOKE_JSON)
+// so CI can archive the trajectory across PRs; see EXPERIMENTS.md.
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace tas {
+namespace bench {
+namespace {
+
+// The same workload on the pre-pooling simulator core (std::function
+// events + shared_ptr cancel flags + per-packet heap allocation),
+// recorded by running this benchmark at commit ecc993c (Release, reduced
+// scale) immediately before the zero-allocation hot path landed:
+// 3,186,605 events dispatched at 2.9M events/sec, i.e. ~1.099 s of wall
+// time. The workload results (ops/sec, latency) are identical before and
+// after, but the event COUNT is not — the lazy link transmitter and
+// DeadlineTimer eliminate bookkeeping events outright — so the headline
+// speedup compares wall time for the identical simulated workload, and
+// the raw events/sec ratio is reported alongside it.
+constexpr double kPreChangeEventsPerSec = 2.9e6;
+constexpr double kPreChangeEvents = 3186605;
+constexpr double kPreChangeWallSec = kPreChangeEvents / kPreChangeEventsPerSec;
+
+struct SmokeResult {
+  uint64_t events = 0;
+  double wall_sec = 0;
+  double ops = 0;
+  double median_us = 0;
+  uint64_t cancelled = 0;
+  uint64_t cancelled_popped = 0;
+  size_t max_pending = 0;
+  size_t event_nodes = 0;
+  PacketPoolStats pool;
+};
+
+// Inlined fig6-style pipelined echo run (see RunEcho in bench_common.h);
+// inlined so the simulator's event counter can be read before teardown.
+SmokeResult RunSmoke() {
+  const size_t kConnections = 100;
+  const size_t kClientHosts = 4;
+  const size_t kMessageBytes = 64;
+  const TimeNs warmup = Ms(15);
+  const TimeNs measure = FullScale() ? Ms(200) : Ms(60);
+
+  std::vector<HostSpec> specs;
+  std::vector<LinkConfig> links;
+  specs.push_back(ServerSpec(StackKind::kTas, 1, 2, 64 * 1024));
+  links.push_back(ServerLink());
+  for (size_t i = 0; i < kClientHosts; ++i) {
+    specs.push_back(IdealClientSpec());
+    links.push_back(ClientLink());
+  }
+  auto exp = Experiment::Star(specs, links);
+
+  EchoServerConfig server_config;
+  server_config.request_bytes = kMessageBytes;
+  server_config.response_bytes = kMessageBytes;
+  server_config.app_cycles = 250;
+  EchoServer server(&exp->sim(), exp->host(0).stack(), server_config);
+  server.Start();
+
+  std::vector<std::unique_ptr<EchoClient>> clients;
+  for (size_t i = 0; i < kClientHosts; ++i) {
+    EchoClientConfig cc;
+    cc.server_ip = exp->host(0).ip();
+    cc.num_connections = kConnections / kClientHosts;
+    cc.request_bytes = kMessageBytes;
+    cc.response_bytes = kMessageBytes;
+    cc.pipeline_depth = 16;
+    cc.connect_spread = warmup * 3 / 4;
+    cc.first_request_at = warmup - Ms(2);
+    clients.push_back(std::make_unique<EchoClient>(&exp->sim(), exp->host(1 + i).stack(), cc));
+    clients.back()->Start();
+  }
+
+  exp->sim().RunUntil(warmup);
+  for (auto& client : clients) {
+    client->BeginMeasurement();
+  }
+  const uint64_t events_before = exp->sim().events_executed();
+  const auto start = std::chrono::steady_clock::now();
+  exp->sim().RunUntil(warmup + measure);
+  const auto end = std::chrono::steady_clock::now();
+
+  SmokeResult result;
+  result.events = exp->sim().events_executed() - events_before;
+  result.wall_sec = std::chrono::duration<double>(end - start).count();
+  for (auto& client : clients) {
+    result.ops += client->Throughput();
+  }
+  result.median_us = clients[0]->latency().Median();
+  result.cancelled = exp->sim().cancelled_events();
+  result.cancelled_popped = exp->sim().cancelled_popped();
+  result.max_pending = exp->sim().max_pending_events();
+  result.event_nodes = exp->sim().event_nodes_total();
+  result.pool = exp->packet_pool().stats();
+  return result;
+}
+
+long PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+void Run() {
+  PrintHeader("perf_smoke: simulator-core event throughput",
+              "fig6-style pipelined RPC (64B, depth 16, TAS server)");
+
+  const SmokeResult r = RunSmoke();
+  const double events_per_sec = static_cast<double>(r.events) / r.wall_sec;
+  const double ns_per_event = r.wall_sec * 1e9 / static_cast<double>(r.events);
+  const double speedup = kPreChangeWallSec / r.wall_sec;
+  const double events_rate_ratio = events_per_sec / kPreChangeEventsPerSec;
+
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow("events dispatched", r.events);
+  table.AddRow("wall seconds", Fmt(r.wall_sec, 3));
+  table.AddRow("events/sec", Fmt(events_per_sec / 1e6, 2) + "M");
+  table.AddRow("wall ns/event", Fmt(ns_per_event, 1));
+  table.AddRow("workload Mops/sec", Fmt(r.ops / 1e6, 2));
+  table.AddRow("median us", Fmt(r.median_us, 1));
+  table.AddRow("peak RSS MiB", Fmt(static_cast<double>(PeakRssKb()) / 1024.0, 1));
+  table.AddRow("speedup vs pre-pool", Fmt(speedup, 2) + "x (wall, same workload)");
+  table.AddRow("events/sec ratio", Fmt(events_rate_ratio, 2) + "x");
+  table.AddRow("max pending events", r.max_pending);
+  table.AddRow("event nodes (slab)", r.event_nodes);
+  table.AddRow("pkts allocated", r.pool.allocated);
+  table.AddRow("pkts reused", r.pool.reused);
+  table.Print();
+
+  // One line, machine readable; CI greps for the prefix.
+  std::cout << "PERF_SMOKE_JSON {"
+            << "\"benchmark\":\"perf_smoke\""
+            << ",\"workload\":\"fig6_pipelined_64b_d16\""
+            << ",\"events\":" << r.events
+            << ",\"wall_sec\":" << r.wall_sec
+            << ",\"events_per_sec\":" << events_per_sec
+            << ",\"wall_ns_per_event\":" << ns_per_event
+            << ",\"workload_ops_per_sec\":" << r.ops
+            << ",\"peak_rss_kb\":" << PeakRssKb()
+            << ",\"baseline_events_per_sec_prechange\":" << kPreChangeEventsPerSec
+            << ",\"baseline_events_prechange\":" << kPreChangeEvents
+            << ",\"baseline_wall_sec_prechange\":" << kPreChangeWallSec
+            << ",\"speedup_vs_prechange\":" << speedup
+            << ",\"events_per_sec_ratio_vs_prechange\":" << events_rate_ratio
+            << ",\"cancelled_events\":" << r.cancelled
+            << ",\"cancelled_popped\":" << r.cancelled_popped
+            << ",\"max_pending_events\":" << r.max_pending
+            << ",\"event_nodes\":" << r.event_nodes
+            << ",\"pkt_pool_allocated\":" << r.pool.allocated
+            << ",\"pkt_pool_reused\":" << r.pool.reused << "}" << std::endl;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tas
+
+int main() { tas::bench::Run(); }

@@ -175,9 +175,10 @@ void EngineStack::DrainRxQueue(int queue) {
       core->Charge(CpuModule::kIp, costs.rx_ip);
       done = core->Charge(CpuModule::kTcp, tcp_cycles);
     }
-    auto held = std::make_shared<PacketPtr>(std::move(pkt));
     const int q = queue;
-    sim_->At(done, [this, q, held] { HandlePacket(q, std::move(*held)); });
+    sim_->At(done, [this, q, pkt = std::move(pkt)]() mutable {
+      HandlePacket(q, std::move(pkt));
+    });
   }
 }
 
@@ -231,8 +232,7 @@ void EngineStack::EmitPacket(TcpConnection* conn, PacketPtr pkt) {
   }
   core->Charge(CpuModule::kDriver, costs.tx_driver);
   const TimeNs done = core->Charge(CpuModule::kTcp, cycles - costs.tx_driver);
-  auto held = std::make_shared<PacketPtr>(std::move(pkt));
-  sim_->At(done, [this, held] { nic_->Transmit(std::move(*held)); });
+  sim_->At(done, [this, pkt = std::move(pkt)]() mutable { nic_->Transmit(std::move(pkt)); });
 }
 
 void EngineStack::OnConnected(TcpConnection* conn) {

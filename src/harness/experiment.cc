@@ -154,7 +154,12 @@ std::unique_ptr<Experiment> Experiment::Custom(
   return exp;
 }
 
-Experiment::~Experiment() { MaybeWriteTraces(); }
+Experiment::Experiment() { previous_pool_ = PacketPool::Install(&packet_pool_); }
+
+Experiment::~Experiment() {
+  MaybeWriteTraces();
+  PacketPool::Install(previous_pool_);
+}
 
 size_t Experiment::WriteTraces(const std::string& prefix) {
   size_t written = 0;

@@ -14,6 +14,7 @@
 #include "src/baseline/stack_iface.h"
 #include "src/fault/injector.h"
 #include "src/libtas/tas_stack.h"
+#include "src/net/packet_pool.h"
 #include "src/net/topology.h"
 #include "src/tas/service.h"
 
@@ -74,9 +75,16 @@ class SimHost {
 // A full experiment: simulator + topology + hosts.
 class Experiment {
  public:
-  Experiment() = default;
-  // Auto-dumps traces when TAS_TRACE_OUT is set (see MaybeWriteTraces).
+  // Installs the experiment's packet pool as PacketPool::Current() so all
+  // allocation during the run (and its pool counters) is scoped to this
+  // simulation — two same-seed experiments in one process see identical
+  // pktpool metrics.
+  Experiment();
+  // Auto-dumps traces when TAS_TRACE_OUT is set (see MaybeWriteTraces) and
+  // restores the previously installed packet pool.
   ~Experiment();
+
+  PacketPool& packet_pool() { return packet_pool_; }
 
   Simulator& sim() { return sim_; }
   Network* net() { return net_.get(); }
@@ -122,6 +130,11 @@ class Experiment {
       const std::vector<HostSpec>& specs);
 
  private:
+  // Declared before sim_ so it is destroyed last: tearing down the simulator
+  // destroys pending event closures, whose captured PacketPtrs must still
+  // have a live pool to return to.
+  PacketPool packet_pool_;
+  PacketPool* previous_pool_ = nullptr;
   Simulator sim_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<SimHost>> hosts_;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "src/net/packet_pool.h"
+
 namespace tas {
 namespace {
 
@@ -83,17 +85,18 @@ void Link::Send(int from_side, PacketPtr pkt) {
     }
     if (decision.duplicate) {
       d.stats.duplicated++;
-      Enqueue(from_side, std::make_unique<Packet>(*pkt));
+      Enqueue(from_side, PacketPool::Current().Clone(*pkt));
     }
     if (decision.extra_delay > 0) {
       // Hold the packet out of the FIFO so later sends overtake it, then
-      // re-admit directly (held packets are not re-impaired).
+      // re-admit directly (held packets are not re-impaired). The event node
+      // owns the packet while in flight; events still pending when the
+      // simulator is destroyed return it to the pool.
       d.stats.reordered++;
-      // The shared holder keeps the packet owned while in flight, so events
-      // still pending when the simulator is destroyed don't leak it.
-      auto held = std::make_shared<PacketPtr>(std::move(pkt));
       sim_->After(decision.extra_delay,
-                  [this, from_side, held] { Enqueue(from_side, std::move(*held)); });
+                  [this, from_side, pkt = std::move(pkt)]() mutable {
+                    Enqueue(from_side, std::move(pkt));
+                  });
       return;
     }
   }
@@ -131,11 +134,19 @@ void Link::Enqueue(int from_side, PacketPtr pkt) {
     // Survived the checksums despite flips (possible: a flip pair can cancel
     // in the ones'-complement sum); keep the mark so the NIC model drops it.
     parsed->corrupt_flips = pkt->corrupt_flips;
-    pkt = std::make_unique<Packet>(std::move(*parsed));
+    PacketPtr reparsed = PacketPool::Current().Acquire();
+    *reparsed = std::move(*parsed);
+    pkt = std::move(reparsed);
   }
   d.queue.push_back(std::move(pkt));
   if (!d.transmitting) {
-    StartTransmit(from_side);
+    if (sim_->Now() >= d.busy_until) {
+      StartTransmit(from_side);
+    } else {
+      // Wire still serializing the previous packet; wake up when it frees.
+      d.transmitting = true;
+      sim_->At(d.busy_until, [this, from_side] { StartTransmit(from_side); });
+    }
   }
 }
 
@@ -145,7 +156,6 @@ void Link::StartTransmit(int dir_index) {
     d.transmitting = false;
     return;
   }
-  d.transmitting = true;
   PacketPtr pkt = std::move(d.queue.front());
   d.queue.pop_front();
   const TimeNs serialize = TransmitTimeNs(pkt->WireBytes(), config_.gbps);
@@ -155,16 +165,22 @@ void Link::StartTransmit(int dir_index) {
     d.pcap->Record(sim_->Now(), *pkt);
   }
 
-  // Deliver after serialization + propagation; free the transmitter after
+  // Deliver after serialization + propagation; the transmitter frees after
   // serialization only, so back-to-back packets pipeline onto the wire.
-  auto held = std::make_shared<PacketPtr>(std::move(pkt));
-  sim_->After(serialize + config_.propagation_delay, [this, dir_index, held] {
-    Direction& dd = dir_[dir_index];
-    if (dd.dst != nullptr) {
-      dd.dst->Receive(std::move(*held));
-    }
-  });
-  sim_->After(serialize, [this, dir_index] { StartTransmit(dir_index); });
+  d.busy_until = sim_->Now() + serialize;
+  sim_->After(serialize + config_.propagation_delay,
+              [this, dir_index, pkt = std::move(pkt)]() mutable {
+                Direction& dd = dir_[dir_index];
+                if (dd.dst != nullptr) {
+                  dd.dst->Receive(std::move(pkt));
+                }
+              });
+  if (d.queue.empty()) {
+    d.transmitting = false;  // Idle; Enqueue re-arms at busy_until if needed.
+  } else {
+    d.transmitting = true;
+    sim_->After(serialize, [this, dir_index] { StartTransmit(dir_index); });
+  }
 }
 
 void Link::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {

@@ -127,7 +127,13 @@ class Link {
  private:
   struct Direction {
     std::deque<PacketPtr> queue;
+    // True while a StartTransmit continuation is scheduled or running. When
+    // the queue drains the transmitter goes idle WITHOUT scheduling a
+    // serialize-done event; busy_until records when the wire frees up and
+    // the next Enqueue re-arms at that time (saves one event per packet on
+    // non-saturated links).
     bool transmitting = false;
+    TimeNs busy_until = 0;
     NetDevice* dst = nullptr;
     LinkStats stats;
     ImpairmentPipeline pipeline;

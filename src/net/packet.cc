@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/net/packet_pool.h"
 #include "src/util/logging.h"
 
 namespace tas {
@@ -102,7 +103,7 @@ std::string Packet::Describe() const {
 PacketPtr MakeTcpPacket(IpAddr src_ip, uint16_t src_port, IpAddr dst_ip, uint16_t dst_port,
                         uint32_t seq, uint32_t ack, uint8_t flags,
                         std::vector<uint8_t> payload) {
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = PacketPool::Current().Acquire();
   pkt->ip.src = src_ip;
   pkt->ip.dst = dst_ip;
   pkt->tcp.src_port = src_port;
@@ -110,7 +111,9 @@ PacketPtr MakeTcpPacket(IpAddr src_ip, uint16_t src_port, IpAddr dst_ip, uint16_
   pkt->tcp.seq = seq;
   pkt->tcp.ack = ack;
   pkt->tcp.flags = flags;
-  pkt->payload = std::move(payload);
+  if (!payload.empty()) {
+    pkt->payload = std::move(payload);
+  }
   return pkt;
 }
 

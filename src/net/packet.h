@@ -124,9 +124,29 @@ struct Packet {
   std::string Describe() const;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
+
+// Deleter riding inside PacketPtr: returns pooled packets to their owning
+// pool (payload capacity retained), plain-deletes unpooled ones. Default
+// state (null pool) means plain delete, so PacketPtr(new Packet) stays legal.
+class PacketDeleter {
+ public:
+  PacketDeleter() = default;
+  explicit PacketDeleter(PacketPool* pool) : pool_(pool) {}
+  void operator()(Packet* pkt) const noexcept;
+  PacketPool* pool() const { return pool_; }
+
+ private:
+  PacketPool* pool_ = nullptr;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 // Convenience constructor for a TCP packet with common fields filled in.
+// Allocates from the default PacketPool (see src/net/packet_pool.h), so the
+// steady-state cost is a free-list pop, not a heap allocation. Prefer
+// filling `payload` in place on the returned packet (its pooled buffer
+// retains capacity); the by-value parameter replaces the pooled buffer.
 PacketPtr MakeTcpPacket(IpAddr src_ip, uint16_t src_port, IpAddr dst_ip, uint16_t dst_port,
                         uint32_t seq, uint32_t ack, uint8_t flags,
                         std::vector<uint8_t> payload = {});

@@ -52,10 +52,10 @@ void Switch::HandlePacket(PacketPtr pkt) {
     port = candidates[h % candidates.size()];
   }
   ++forwarded_;
-  // Shared holder: frees the packet if the event never fires (sim teardown).
-  auto held = std::make_shared<PacketPtr>(std::move(pkt));
-  sim_->After(forwarding_latency_, [this, port, held] {
-    ports_[static_cast<size_t>(port)]->Send(std::move(*held));
+  // The event node owns the packet; if the event never fires (sim teardown)
+  // its destruction returns the packet to the pool.
+  sim_->After(forwarding_latency_, [this, port, pkt = std::move(pkt)]() mutable {
+    ports_[static_cast<size_t>(port)]->Send(std::move(pkt));
   });
 }
 

@@ -1,5 +1,7 @@
 #include "src/nic/nic.h"
 
+#include "src/net/packet_pool.h"
+
 namespace tas {
 
 SimNic::SimNic(Simulator* sim, HostPort* port, const NicConfig& config)
@@ -44,11 +46,12 @@ void SimNic::Receive(PacketPtr pkt) {
       return;
     }
     if (decision.duplicate) {
-      DeliverToRing(std::make_unique<Packet>(*pkt));
+      DeliverToRing(PacketPool::Current().Clone(*pkt));
     }
     if (decision.extra_delay > 0) {
-      auto held = std::make_shared<PacketPtr>(std::move(pkt));
-      sim_->After(decision.extra_delay, [this, held] { DeliverToRing(std::move(*held)); });
+      sim_->After(decision.extra_delay, [this, pkt = std::move(pkt)]() mutable {
+        DeliverToRing(std::move(pkt));
+      });
       return;
     }
   }

@@ -64,10 +64,9 @@ void FastPathCore::RunOne() {
     cpu_->Charge(CpuModule::kDriver, costs.rx_driver);
     const TimeNs done = cpu_->Charge(CpuModule::kTcp, tcp_cycles);
     busy_ = true;
-    auto held = std::make_shared<PacketPtr>(std::move(pkt));
-    sim->At(done, [this, held] {
+    sim->At(done, [this, pkt = std::move(pkt)]() mutable {
       busy_ = false;
-      ProcessPacket(std::move(*held));
+      ProcessPacket(std::move(pkt));
       MaybeRun();
     });
     return;
@@ -317,11 +316,12 @@ void FastPathCore::SendAck(FlowId flow_id, Flow& flow, bool ecn_echo) {
 
 PacketPtr FastPathCore::BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t len) {
   FlowState& fs = flow.fs;
-  std::vector<uint8_t> payload(len);
-  flow.CopyFromTx(wire_seq, payload.data(), len);
   auto pkt = MakeTcpPacket(service_->local_ip(), fs.local_port, fs.peer_ip, fs.peer_port,
-                           wire_seq, fs.ack, TcpFlags::kAck | TcpFlags::kPsh,
-                           std::move(payload));
+                           wire_seq, fs.ack, TcpFlags::kAck | TcpFlags::kPsh);
+  // Fill the payload in place: the pooled packet's buffer retains capacity,
+  // so this resize allocates nothing in steady state.
+  pkt->payload.resize(len);
+  flow.CopyFromTx(wire_seq, pkt->payload.data(), len);
   pkt->ip.ecn = Ecn::kEct0;
   pkt->tcp.window = static_cast<uint16_t>(
       std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));

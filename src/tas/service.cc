@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/cc/dctcp_rate.h"
+#include "src/net/packet_pool.h"
 #include "src/cc/timely.h"
 #include "src/tas/fast_path.h"
 #include "src/tas/slow_path.h"
@@ -71,6 +72,7 @@ void TasService::RegisterTraceInstrumentation() {
   m.AddGauge("tas.active_cores", [this] { return static_cast<double>(active_cores_); });
   m.AddGauge("tas.live_flows", [this] { return static_cast<double>(live_flows_); });
   nic_->RegisterMetrics(&m, "nic");
+  PacketPool::Current().RegisterMetrics(&m, "pktpool");
 
   // Event-driven series behind the Fig 14 proportionality plot. Generous cap:
   // core transitions are rare (one per monitor interval at most).

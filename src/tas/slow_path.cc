@@ -55,10 +55,9 @@ void SlowPath::MaybeProcess() {
   exceptions_.pop_front();
   const TimeNs done = cpu_->Charge(CpuModule::kTcp, kExceptionCycles);
   busy_ = true;
-  auto held = std::make_shared<PacketPtr>(std::move(pkt));
-  service_->sim()->At(done, [this, held] {
+  service_->sim()->At(done, [this, pkt = std::move(pkt)]() mutable {
     busy_ = false;
-    HandleException(std::move(*held));
+    HandleException(std::move(pkt));
     MaybeProcess();
   });
 }

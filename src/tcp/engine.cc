@@ -64,7 +64,14 @@ TcpConnection::TcpConnection(Simulator* sim, TcpEngineHost* host, const TcpConfi
       remote_port_(remote_port),
       iss_(isn),
       tx_ring_(config.tx_buffer_bytes),
-      rx_ring_(config.rx_buffer_bytes) {
+      rx_ring_(config.rx_buffer_bytes),
+      rto_timer_(sim, [this] { OnRtoExpired(); }),
+      time_wait_timer_(sim, [this] { FinalizeClose(); }),
+      delayed_ack_timer_(sim, [this] {
+        if (state_ != State::kClosed) {
+          SendPureAck(false);
+        }
+      }) {
   cc_ = MakeWindowCc(config.cc, config.window_cc);
 }
 
@@ -543,10 +550,6 @@ void TcpConnection::RetransmitHole() {
 
 void TcpConnection::SendSegment(uint64_t data_offset, uint64_t len, bool is_retransmit) {
   TAS_CHECK(len > 0);
-  std::vector<uint8_t> payload(len);
-  const size_t got = tx_ring_.Peek(data_offset, payload.data(), len);
-  TAS_CHECK(got == len) << "tx ring underrun at offset " << data_offset;
-
   uint8_t flags = TcpFlags::kAck | TcpFlags::kPsh;
   if (send_cwr_ && config_.ecn_enabled) {
     flags |= TcpFlags::kCwr;
@@ -555,7 +558,12 @@ void TcpConnection::SendSegment(uint64_t data_offset, uint64_t len, bool is_retr
   if (this_packet_ce_ && config_.ecn_enabled && pending_ack_) {
     flags |= TcpFlags::kEce;  // ACK piggybacked on data echoes the CE mark.
   }
-  auto pkt = BuildPacket(flags, data_offset, std::move(payload));
+  // Fill the payload in place: the pooled packet's buffer retains capacity,
+  // so this resize allocates nothing in steady state.
+  auto pkt = BuildPacket(flags, data_offset, {});
+  pkt->payload.resize(len);
+  const size_t got = tx_ring_.Peek(data_offset, pkt->payload.data(), len);
+  TAS_CHECK(got == len) << "tx ring underrun at offset " << data_offset;
   if (config_.ecn_enabled) {
     pkt->ip.ecn = Ecn::kEct0;
   }
@@ -571,14 +579,10 @@ void TcpConnection::SendSegment(uint64_t data_offset, uint64_t len, bool is_retr
 }
 
 void TcpConnection::ArmDelayedAck() {
-  if (delayed_ack_timer_.valid()) {
+  if (delayed_ack_timer_.armed()) {
     return;
   }
-  delayed_ack_timer_ = sim_->After(config_.delayed_ack, [this] {
-    if (state_ != State::kClosed) {
-      SendPureAck(false);
-    }
-  });
+  delayed_ack_timer_.Schedule(sim_->Now() + config_.delayed_ack);
 }
 
 void TcpConnection::SendPureAck(bool dupack_with_sack) {
@@ -643,12 +647,12 @@ void TcpConnection::TryTransmit() {
 }
 
 void TcpConnection::ArmRtoTimer() {
-  CancelRtoTimer();
   const bool handshake = state_ == State::kSynSent || state_ == State::kSynRcvd;
   if (!handshake && OutstandingBytes() == 0 && !FinOutstanding()) {
+    CancelRtoTimer();
     return;
   }
-  rto_timer_ = sim_->After(rtt_.Rto(), [this] { OnRtoExpired(); });
+  rto_timer_.Schedule(sim_->Now() + rtt_.Rto());
 }
 
 void TcpConnection::CancelRtoTimer() { rto_timer_.Cancel(); }
@@ -729,8 +733,7 @@ void TcpConnection::OnRtoExpired() {
 
 void TcpConnection::EnterTimeWait() {
   CancelRtoTimer();
-  time_wait_timer_.Cancel();
-  time_wait_timer_ = sim_->After(config_.time_wait, [this] { FinalizeClose(); });
+  time_wait_timer_.Schedule(sim_->Now() + config_.time_wait);
 }
 
 void TcpConnection::FinalizeClose() {

@@ -198,11 +198,13 @@ class TcpConnection {
   bool this_packet_ce_ = false;     // CE mark on the packet being processed.
   int segments_sent_in_event_ = 0;  // For ACK piggybacking.
 
-  // Timers and estimation.
+  // Timers and estimation. DeadlineTimers: the RTO re-arms on every send
+  // and every ACK, and the delayed-ACK timer is usually cancelled by a
+  // piggybacked ACK — lazy deadlines keep that churn out of the event heap.
   RttEstimator rtt_;
-  EventHandle rto_timer_;
-  EventHandle time_wait_timer_;
-  EventHandle delayed_ack_timer_;
+  DeadlineTimer rto_timer_;
+  DeadlineTimer time_wait_timer_;
+  DeadlineTimer delayed_ack_timer_;
   uint64_t unacked_rx_bytes_ = 0;  // Data received since our last ACK.
   int retries_ = 0;
 

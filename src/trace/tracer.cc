@@ -139,6 +139,16 @@ void RegisterSimulatorMetrics(MetricRegistry* registry, const Simulator* sim,
                      [sim] { return static_cast<double>(sim->pending_events()); });
   registry->AddGauge(prefix + ".max_pending_events",
                      [sim] { return static_cast<double>(sim->max_pending_events()); });
+  // Allocator-pressure view (DESIGN.md §8): cancellation traffic and event
+  // slab occupancy, so Perfetto traces show hot-path memory discipline.
+  registry->AddCounterFn(prefix + ".cancelled_events",
+                         [sim] { return sim->cancelled_events(); });
+  registry->AddCounterFn(prefix + ".cancelled_popped",
+                         [sim] { return sim->cancelled_popped(); });
+  registry->AddGauge(prefix + ".event_nodes_total",
+                     [sim] { return static_cast<double>(sim->event_nodes_total()); });
+  registry->AddGauge(prefix + ".event_nodes_free",
+                     [sim] { return static_cast<double>(sim->event_nodes_free()); });
 }
 
 }  // namespace tas

@@ -1,6 +1,9 @@
 // Unit tests for the discrete-event simulator core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -120,6 +123,204 @@ TEST(SimulatorTest, EventCountTracked) {
   }
   sim.Run();
   EXPECT_EQ(sim.events_executed(), 42u);
+}
+
+
+// --- Pooled event nodes and handle lifecycle (DESIGN.md §8) ----------------
+
+TEST(EventHandleTest, InvalidAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.At(10, [] {});
+  EXPECT_TRUE(h.valid());
+  sim.Run();
+  EXPECT_FALSE(h.valid());
+  h.Cancel();  // Must be a harmless no-op after the fact.
+  EXPECT_EQ(sim.cancelled_events(), 0u);
+}
+
+TEST(EventHandleTest, InvalidAfterCancel) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.At(10, [&] { ++fired; });
+  h.Cancel();
+  EXPECT_FALSE(h.valid());
+  h.Cancel();  // Double-cancel counts once.
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  EXPECT_EQ(sim.cancelled_popped(), 1u);  // Lazy deletion skipped the entry.
+}
+
+TEST(EventHandleTest, StaleHandleDoesNotAliasRecycledNode) {
+  // ABA safety: cancel an event, let its slab node be recycled by a new
+  // event, then use the stale handle. The new tenant must be untouched.
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle old = sim.At(10, [&] { ++first; });
+  old.Cancel();
+  // The freed node is head of the free list, so this reuses it.
+  sim.At(20, [&] { ++second; });
+  EXPECT_FALSE(old.valid());
+  old.Cancel();  // Stale generation: must not kill the new tenant.
+  sim.Run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+}
+
+TEST(EventHandleTest, DefaultConstructedIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  h.Cancel();
+}
+
+TEST(SimulatorTest, NodesAreRecycledNotLeaked) {
+  Simulator sim;
+  TimeNs when = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.At(when, [] {});
+    when += 10;
+    sim.RunUntil(when);
+  }
+  // One event in flight at a time: the slab should stay tiny.
+  EXPECT_LE(sim.event_nodes_total(), 4u);
+  EXPECT_EQ(sim.event_nodes_free(), sim.event_nodes_total());
+}
+
+TEST(SimulatorTest, MoveOnlyCaptureIsDestroyedOnTeardown) {
+  // An event still pending when the simulator dies must destroy its closure
+  // (and anything the closure owns) — no leak, no double free.
+  auto flag = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = flag;
+  {
+    Simulator sim;
+    sim.At(1000, [owned = std::move(flag)] { (void)owned; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SimulatorTest, LargeCaptureSpillsToHeapAndStillRuns) {
+  // Captures past the inline SBO budget take the heap path; behavior must
+  // be identical.
+  Simulator sim;
+  std::array<uint64_t, 16> big{};
+  big[0] = 41;
+  big[15] = 1;
+  uint64_t out = 0;
+  sim.At(5, [big, &out] { out = big[0] + big[15]; });
+  sim.Run();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(SimulatorTest, CancelHeavyChurnStaysOrdered) {
+  // Exceed kPurgeMinEntries with tombstones so the compaction path runs,
+  // then verify surviving events still pop in (time, insertion) order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 400; ++i) {
+    const TimeNs when = 10 + (i % 97);
+    if (i % 2 == 0) {
+      doomed.push_back(sim.At(when, [] { ADD_FAILURE() << "cancelled event ran"; }));
+    } else {
+      order.reserve(200);
+      sim.At(when, [&order, i] { order.push_back(i); });
+    }
+  }
+  for (EventHandle& h : doomed) {
+    h.Cancel();
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end(),
+                             [](int a, int b) { return (10 + a % 97) < (10 + b % 97) ||
+                                                       ((10 + a % 97) == (10 + b % 97) && a < b); }));
+  EXPECT_EQ(sim.cancelled_events(), 200u);
+  // Every tombstone is eventually retired, popped or purged.
+  EXPECT_EQ(sim.cancelled_popped(), 200u);
+}
+
+TEST(SimulatorTest, RearmCurrentReusesNode) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  sim.At(10, [&] {
+    ++fired;
+    if (fired < 3) {
+      h = sim.RearmCurrent(sim.Now() + 10);
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.event_nodes_total(), 1u);  // One node served all three fires.
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(DeadlineTimerTest, FiresAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  DeadlineTimer timer(&sim, [&] { ++fired; });
+  timer.Schedule(100);
+  sim.RunUntil(99);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(timer.armed());
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(DeadlineTimerTest, ForwardMoveIsLazy) {
+  // Classic RTO pattern: push the deadline later on every "ACK". The single
+  // in-queue event fires early and chases the final deadline.
+  Simulator sim;
+  std::vector<TimeNs> fire_times;
+  DeadlineTimer timer(&sim, [&] { fire_times.push_back(sim.Now()); });
+  timer.Schedule(100);
+  sim.RunUntil(50);
+  timer.Schedule(200);  // Field write; no new heap entry.
+  sim.RunUntil(150);
+  timer.Schedule(300);
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], 300);
+  EXPECT_EQ(sim.cancelled_events(), 0u);  // Lazy moves never cancel.
+}
+
+TEST(DeadlineTimerTest, CancelIsLazyAndRearmable) {
+  Simulator sim;
+  int fired = 0;
+  DeadlineTimer timer(&sim, [&] { ++fired; });
+  timer.Schedule(100);
+  timer.Cancel();
+  sim.RunUntil(150);  // The orphan event pops and dies out.
+  EXPECT_EQ(fired, 0);
+  timer.Schedule(200);  // Re-arming after cancel works.
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(DeadlineTimerTest, DestructionCancelsPendingEvent) {
+  Simulator sim;
+  int fired = 0;
+  {
+    DeadlineTimer timer(&sim, [&] { ++fired; });
+    timer.Schedule(100);
+  }  // Dtor must kill the in-queue closure: it captures the dead timer.
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(DeadlineTimerTest, EarlierDeadlineWins) {
+  Simulator sim;
+  std::vector<TimeNs> fire_times;
+  DeadlineTimer timer(&sim, [&] { fire_times.push_back(sim.Now()); });
+  timer.Schedule(500);
+  timer.Schedule(100);  // Moving earlier reschedules eagerly.
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], 100);
 }
 
 }  // namespace
