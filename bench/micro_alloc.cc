@@ -7,6 +7,10 @@
 //   BM_ScheduleCancel     schedule+cancel churn (tombstones, no frees)
 //   BM_PacketPoolAlloc    acquire/release through the packet free list
 //
+// The steady-state audits additionally cover the flat flow table and flow
+// slab (src/tas/flow_table): connection churn at stable capacity recycles
+// tombstones and free-list slots without touching the allocator.
+//
 // Each benchmark also reports an "allocs/op" counter. After the benchmarks,
 // main() runs a steady-state audit: warm up each path, snapshot the counter,
 // run N more operations, and FAIL (nonzero exit) if any allocation happened.
@@ -25,6 +29,7 @@
 #include "src/net/packet.h"
 #include "src/net/packet_pool.h"
 #include "src/sim/simulator.h"
+#include "src/tas/flow_table.h"
 
 namespace {
 
@@ -215,6 +220,65 @@ bool AuditPacketPool() {
   return allocs == 0;
 }
 
+// Connection churn at stable population: erase + reinsert recycles the
+// erased key's tombstone on the very probe path that finds it, so the table
+// never grows and never rehashes — and therefore never allocates.
+bool AuditFlowTable() {
+  constexpr uint32_t kFlows = 4096;
+  FlowTable table;
+  std::vector<FlowKey> keys;
+  keys.reserve(kFlows);
+  for (uint32_t i = 0; i < kFlows; ++i) {
+    FlowKey key;
+    key.local_port = static_cast<uint16_t>(1000 + (i % 50000));
+    key.peer_ip = 0x0A000000u + (i << 5);
+    key.peer_port = static_cast<uint16_t>(2000 + (i % 60000));
+    keys.push_back(key);
+    table.Insert(key, MakeFlowId(i & kFlowSlotMask, 0));
+  }
+  for (uint32_t i = 0; i < kFlows; ++i) {  // Warm the churn path.
+    table.Erase(keys[i]);
+    table.Insert(keys[i], MakeFlowId(i & kFlowSlotMask, 1));
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 100000; ++i) {
+    const FlowKey& key = keys[static_cast<uint32_t>(i) % kFlows];
+    table.Erase(key);
+    table.Insert(key, MakeFlowId(static_cast<uint32_t>(i) & kFlowSlotMask, 2));
+    benchmark::DoNotOptimize(table.Find(key));
+  }
+  const uint64_t allocs = AllocCount() - before;
+  std::printf("ALLOC_AUDIT flow_table allocs=%llu %s\n",
+              static_cast<unsigned long long>(allocs), allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
+// Flow slot recycling through the slab free list: Free resets the flow in
+// place (buffers keep their capacity) and Allocate pops the free list, so
+// steady-state connection turnover is allocation-free.
+bool AuditFlowSlab() {
+  FlowSlab slab;
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(slab.Allocate());
+  }
+  for (FlowId& id : ids) {  // Warm the free list.
+    slab.Free(id);
+    id = slab.Allocate();
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 100000; ++i) {
+    FlowId& id = ids[static_cast<size_t>(i) % ids.size()];
+    slab.Free(id);
+    id = slab.Allocate();
+    benchmark::DoNotOptimize(slab.Get(id));
+  }
+  const uint64_t allocs = AllocCount() - before;
+  std::printf("ALLOC_AUDIT flow_slab allocs=%llu %s\n",
+              static_cast<unsigned long long>(allocs), allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
 }  // namespace
 }  // namespace tas
 
@@ -227,6 +291,8 @@ int main(int argc, char** argv) {
   ok &= tas::AuditSimulatorSchedule();
   ok &= tas::AuditScheduleCancel();
   ok &= tas::AuditPacketPool();
+  ok &= tas::AuditFlowTable();
+  ok &= tas::AuditFlowSlab();
   std::printf("ALLOC_AUDIT overall %s (news=%llu frees=%llu)\n", ok ? "PASS" : "FAIL",
               static_cast<unsigned long long>(g_alloc_count.load()),
               static_cast<unsigned long long>(g_free_count.load()));

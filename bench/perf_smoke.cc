@@ -2,9 +2,10 @@
 //
 // Drives a fig6-style pipelined RPC run (single-threaded TAS server, ideal
 // clients, pipeline depth 16) and reports how fast the simulator core chews
-// through events: events/sec, wall ns/event, ops/sec of the workload, and
-// peak RSS. Emits one machine-readable JSON line (prefixed PERF_SMOKE_JSON)
-// so CI can archive the trajectory across PRs; see EXPERIMENTS.md.
+// through events: events/sec, wall ns/event, events per delivered packet,
+// ops/sec of the workload, and peak RSS. Emits one machine-readable JSON
+// line (prefixed PERF_SMOKE_JSON) so CI can archive the trajectory across
+// PRs; see EXPERIMENTS.md.
 #include <sys/resource.h>
 #include <sys/time.h>
 
@@ -22,19 +23,36 @@ namespace {
 // recorded by running this benchmark at commit ecc993c (Release, reduced
 // scale) immediately before the zero-allocation hot path landed:
 // 3,186,605 events dispatched at 2.9M events/sec, i.e. ~1.099 s of wall
-// time. The workload results (ops/sec, latency) are identical before and
-// after, but the event COUNT is not — the lazy link transmitter and
-// DeadlineTimer eliminate bookkeeping events outright — so the headline
-// speedup compares wall time for the identical simulated workload, and
-// the raw events/sec ratio is reported alongside it.
+// time.
 constexpr double kPreChangeEventsPerSec = 2.9e6;
 constexpr double kPreChangeEvents = 3186605;
 constexpr double kPreChangeWallSec = kPreChangeEvents / kPreChangeEventsPerSec;
+
+// Post-PR3 baseline (zero-allocation hot path, packet-serial fast path,
+// unordered_map flow table), recorded by running this benchmark at commit
+// bb6ebf5 (Release, reduced scale) immediately before batched fast-path
+// processing landed. The batching PR compares against these: the workload
+// (connections, bytes, pipeline depth) is identical, so events per
+// delivered packet is the apples-to-apples overhead metric.
+constexpr double kPostPr3Events = 2417014;
+constexpr double kPostPr3WallSec = 0.454;
+constexpr double kPostPr3Packets = 393801;
+constexpr double kPostPr3EventsPerPacket = kPostPr3Events / kPostPr3Packets;
+constexpr double kPostPr3Ops = 131650;
+constexpr double kPostPr3Retransmits = 0;
 
 struct SmokeResult {
   uint64_t events = 0;
   double wall_sec = 0;
   double ops = 0;
+  uint64_t ops_count = 0;     // Completed echo operations in the window.
+  uint64_t packets = 0;       // Server NIC rx+tx packets in the window.
+  uint64_t bytes_delivered = 0;
+  uint64_t retransmits = 0;   // Fast + timeout + handshake, whole run.
+  uint64_t retransmits_fast = 0;
+  uint64_t retransmits_timeout = 0;
+  uint64_t retransmits_handshake = 0;
+  uint64_t server_rx_drops = 0;  // NIC ring overflow + flow buffer drops.
   double median_us = 0;
   uint64_t cancelled = 0;
   uint64_t cancelled_popped = 0;
@@ -84,9 +102,13 @@ SmokeResult RunSmoke() {
   }
 
   exp->sim().RunUntil(warmup);
+  uint64_t ops_before = 0;
   for (auto& client : clients) {
     client->BeginMeasurement();
+    ops_before += client->completed();
   }
+  SimNic* server_nic = exp->host(0).tas()->nic();
+  const uint64_t pkts_before = server_nic->rx_packets() + server_nic->tx_packets();
   const uint64_t events_before = exp->sim().events_executed();
   const auto start = std::chrono::steady_clock::now();
   exp->sim().RunUntil(warmup + measure);
@@ -97,7 +119,18 @@ SmokeResult RunSmoke() {
   result.wall_sec = std::chrono::duration<double>(end - start).count();
   for (auto& client : clients) {
     result.ops += client->Throughput();
+    result.ops_count += client->completed();
   }
+  result.ops_count -= ops_before;
+  result.packets = server_nic->rx_packets() + server_nic->tx_packets() - pkts_before;
+  result.bytes_delivered = result.ops_count * 2 * kMessageBytes;
+  const TasStats& stats = exp->host(0).tas()->stats();
+  result.retransmits =
+      stats.fast_retransmits + stats.timeout_retransmits + stats.handshake_retransmits;
+  result.retransmits_fast = stats.fast_retransmits;
+  result.retransmits_timeout = stats.timeout_retransmits;
+  result.retransmits_handshake = stats.handshake_retransmits;
+  result.server_rx_drops = server_nic->rx_drops() + stats.rx_buffer_drops;
   result.median_us = clients[0]->latency().Median();
   result.cancelled = exp->sim().cancelled_events();
   result.cancelled_popped = exp->sim().cancelled_popped();
@@ -120,19 +153,29 @@ void Run() {
   const SmokeResult r = RunSmoke();
   const double events_per_sec = static_cast<double>(r.events) / r.wall_sec;
   const double ns_per_event = r.wall_sec * 1e9 / static_cast<double>(r.events);
+  const double events_per_packet =
+      r.packets > 0 ? static_cast<double>(r.events) / static_cast<double>(r.packets) : 0;
   const double speedup = kPreChangeWallSec / r.wall_sec;
-  const double events_rate_ratio = events_per_sec / kPreChangeEventsPerSec;
+  const double speedup_pr3 = kPostPr3WallSec / r.wall_sec;
+  const double epp_ratio_pr3 =
+      events_per_packet > 0 ? kPostPr3EventsPerPacket / events_per_packet : 0;
 
   TablePrinter table({"Metric", "Value"});
   table.AddRow("events dispatched", r.events);
   table.AddRow("wall seconds", Fmt(r.wall_sec, 3));
   table.AddRow("events/sec", Fmt(events_per_sec / 1e6, 2) + "M");
   table.AddRow("wall ns/event", Fmt(ns_per_event, 1));
+  table.AddRow("server packets (rx+tx)", r.packets);
+  table.AddRow("events/packet", Fmt(events_per_packet, 2));
   table.AddRow("workload Mops/sec", Fmt(r.ops / 1e6, 2));
+  table.AddRow("ops completed", r.ops_count);
+  table.AddRow("bytes delivered", r.bytes_delivered);
+  table.AddRow("retransmits", r.retransmits);
   table.AddRow("median us", Fmt(r.median_us, 1));
   table.AddRow("peak RSS MiB", Fmt(static_cast<double>(PeakRssKb()) / 1024.0, 1));
   table.AddRow("speedup vs pre-pool", Fmt(speedup, 2) + "x (wall, same workload)");
-  table.AddRow("events/sec ratio", Fmt(events_rate_ratio, 2) + "x");
+  table.AddRow("speedup vs post-PR3", Fmt(speedup_pr3, 2) + "x (wall)");
+  table.AddRow("events/pkt vs post-PR3", Fmt(epp_ratio_pr3, 2) + "x fewer");
   table.AddRow("max pending events", r.max_pending);
   table.AddRow("event nodes (slab)", r.event_nodes);
   table.AddRow("pkts allocated", r.pool.allocated);
@@ -147,13 +190,29 @@ void Run() {
             << ",\"wall_sec\":" << r.wall_sec
             << ",\"events_per_sec\":" << events_per_sec
             << ",\"wall_ns_per_event\":" << ns_per_event
+            << ",\"server_packets\":" << r.packets
+            << ",\"events_per_packet\":" << events_per_packet
             << ",\"workload_ops_per_sec\":" << r.ops
+            << ",\"ops_completed\":" << r.ops_count
+            << ",\"bytes_delivered\":" << r.bytes_delivered
+            << ",\"retransmits\":" << r.retransmits
+            << ",\"retransmits_fast\":" << r.retransmits_fast
+            << ",\"retransmits_timeout\":" << r.retransmits_timeout
+            << ",\"retransmits_handshake\":" << r.retransmits_handshake
+            << ",\"server_rx_drops\":" << r.server_rx_drops
             << ",\"peak_rss_kb\":" << PeakRssKb()
             << ",\"baseline_events_per_sec_prechange\":" << kPreChangeEventsPerSec
             << ",\"baseline_events_prechange\":" << kPreChangeEvents
             << ",\"baseline_wall_sec_prechange\":" << kPreChangeWallSec
             << ",\"speedup_vs_prechange\":" << speedup
-            << ",\"events_per_sec_ratio_vs_prechange\":" << events_rate_ratio
+            << ",\"baseline_events_postpr3\":" << kPostPr3Events
+            << ",\"baseline_wall_sec_postpr3\":" << kPostPr3WallSec
+            << ",\"baseline_packets_postpr3\":" << kPostPr3Packets
+            << ",\"baseline_events_per_packet_postpr3\":" << kPostPr3EventsPerPacket
+            << ",\"baseline_ops_postpr3\":" << kPostPr3Ops
+            << ",\"baseline_retransmits_postpr3\":" << kPostPr3Retransmits
+            << ",\"speedup_vs_postpr3\":" << speedup_pr3
+            << ",\"events_per_packet_ratio_vs_postpr3\":" << epp_ratio_pr3
             << ",\"cancelled_events\":" << r.cancelled
             << ",\"cancelled_popped\":" << r.cancelled_popped
             << ",\"max_pending_events\":" << r.max_pending

@@ -24,6 +24,9 @@ EngineStack::EngineStack(Simulator* sim, HostPort* port, std::vector<Core*> app_
     nic_->SetRxNotify(q, [this, q] { DrainRxQueue(q); });
   }
   batches_.resize(app_cores_.size());
+  rx_queues_.resize(static_cast<size_t>(nic_->num_queues()));
+  collected_events_.resize(app_cores_.size());
+  collected_done_.resize(app_cores_.size(), 0);
 }
 
 EngineStack::~EngineStack() = default;
@@ -150,9 +153,20 @@ void EngineStack::ChargeApp(ConnId conn, uint64_t cycles) {
 // --- NIC receive path --------------------------------------------------------
 
 void EngineStack::DrainRxQueue(int queue) {
+  RxQueueState& rq = rx_queues_[static_cast<size_t>(queue)];
+  if (rq.draining) {
+    return;  // The pending burst's continuation re-drains.
+  }
   Core* core = stack_cores_[static_cast<size_t>(queue)];
   const StackCostModel& costs = *config_.costs;
-  while (PacketPtr pkt = nic_->PopRx(queue)) {
+  const size_t burst = std::max<size_t>(1, config_.rx_burst);
+  rq.batch.clear();
+  TimeNs done = 0;
+  while (rq.batch.size() < burst) {
+    PacketPtr pkt = nic_->PopRx(queue);
+    if (!pkt) {
+      break;
+    }
     // Bounded backlog: a real stack's softirq queue overflows under
     // persistent overload.
     if (core->busy_until() - sim_->Now() > config_.max_backlog) {
@@ -161,7 +175,6 @@ void EngineStack::DrainRxQueue(int queue) {
     }
     // Pure ACK / control segments take the short header-only path: no
     // socket hand-off, no copy, a fraction of the header processing.
-    TimeNs done;
     if (pkt->payload.empty()) {
       core->Charge(CpuModule::kDriver, costs.rx_driver / 2);
       core->Charge(CpuModule::kIp, costs.rx_ip / 4);
@@ -175,11 +188,37 @@ void EngineStack::DrainRxQueue(int queue) {
       core->Charge(CpuModule::kIp, costs.rx_ip);
       done = core->Charge(CpuModule::kTcp, tcp_cycles);
     }
-    const int q = queue;
-    sim_->At(done, [this, q, pkt = std::move(pkt)]() mutable {
-      HandlePacket(q, std::move(pkt));
-    });
+    rq.batch.push_back(std::move(pkt));
   }
+  if (rq.batch.empty()) {
+    return;
+  }
+  // Every packet was charged individually above (identical per-packet cost
+  // and completion horizon as serial dispatch); the burst retires with ONE
+  // aggregated event instead of one per packet. Packets the burst's TCP
+  // processing emits are collected and leave as a single transmit burst —
+  // the DPDK poll-loop shape the NAPI/mTCP stacks actually have.
+  rq.draining = true;
+  sim_->At(done, [this, queue] {
+    RxQueueState& q = rx_queues_[static_cast<size_t>(queue)];
+    tx_collect_ = true;
+    collecting_ = true;
+    for (PacketPtr& pkt : q.batch) {
+      HandlePacket(queue, std::move(pkt));
+    }
+    q.batch.clear();
+    collecting_ = false;
+    tx_collect_ = false;
+    if (!tx_batch_.empty()) {
+      nic_->TransmitBurst(tx_batch_.data(), tx_batch_.size());
+      tx_batch_.clear();
+    }
+    FlushCollectedEvents();
+    q.draining = false;
+    // The ring may still hold packets: a full burst leaves the remainder
+    // behind, and the NIC only notifies on push-to-empty.
+    DrainRxQueue(queue);
+  });
 }
 
 void EngineStack::HandlePacket(int queue, PacketPtr pkt) {
@@ -232,6 +271,14 @@ void EngineStack::EmitPacket(TcpConnection* conn, PacketPtr pkt) {
   }
   core->Charge(CpuModule::kDriver, costs.tx_driver);
   const TimeNs done = core->Charge(CpuModule::kTcp, cycles - costs.tx_driver);
+  if (tx_collect_) {
+    // Inside an RX burst continuation: CPU cost is charged above as usual,
+    // but the packet joins the burst's single transmit flush instead of
+    // scheduling its own departure event (NIC DMA is asynchronous with the
+    // descriptor-write the charge models).
+    tx_batch_.push_back(std::move(pkt));
+    return;
+  }
   sim_->At(done, [this, pkt = std::move(pkt)]() mutable { nic_->Transmit(std::move(pkt)); });
 }
 
@@ -319,6 +366,13 @@ void EngineStack::DeliverEvent(size_t app_core, PendingEvent event, uint64_t api
   if (config_.event_batch <= 1) {
     const TimeNs done =
         app_cores_[app_core]->Charge(CpuModule::kSockets, api_cycles) + config_.wakeup_latency;
+    if (collecting_) {
+      // Per-event charges above are unchanged; the whole group raised by one
+      // RX burst dispatches together when the last charge retires.
+      collected_events_[app_core].push_back(event);
+      collected_done_[app_core] = std::max(collected_done_[app_core], done);
+      return;
+    }
     sim_->At(done, [this, event] { DispatchEvent(event); });
     return;
   }
@@ -331,6 +385,30 @@ void EngineStack::DeliverEvent(size_t app_core, PendingEvent event, uint64_t api
   } else if (!batch.flush_timer.valid()) {
     batch.flush_timer =
         sim_->After(config_.batch_timeout, [this, app_core] { FlushBatch(app_core); });
+  }
+}
+
+void EngineStack::FlushCollectedEvents() {
+  for (size_t c = 0; c < collected_events_.size(); ++c) {
+    if (collected_events_[c].empty()) {
+      continue;
+    }
+    const TimeNs done = collected_done_[c];
+    collected_done_[c] = 0;
+    // The dispatch continuation runs app callbacks whose Sends emit packets
+    // synchronously; collect those too and ship them as one burst.
+    sim_->At(done, [this, events = std::move(collected_events_[c])] {
+      tx_collect_ = true;
+      for (const PendingEvent& e : events) {
+        DispatchEvent(e);
+      }
+      tx_collect_ = false;
+      if (!tx_batch_.empty()) {
+        nic_->TransmitBurst(tx_batch_.data(), tx_batch_.size());
+        tx_batch_.clear();
+      }
+    });
+    collected_events_[c] = std::vector<PendingEvent>();
   }
 }
 

@@ -47,6 +47,9 @@ struct EngineStackConfig {
   // Drop incoming packets when a stack core's backlog exceeds this (models
   // bounded softirq/backlog queues).
   TimeNs max_backlog = Ms(2);
+  // Packets drained from a NIC queue per aggregated processing event (the
+  // NAPI poll budget / DPDK rx_burst analogue). 1 = packet-serial dispatch.
+  size_t rx_burst = 16;
   uint64_t rng_seed = 0xBA5E;
 };
 
@@ -105,6 +108,9 @@ class EngineStack : public Stack, public TcpEngineHost {
   void DrainRxQueue(int queue);
   void HandlePacket(int queue, PacketPtr pkt);
   void DeliverEvent(size_t app_core, PendingEvent event, uint64_t api_cycles);
+  // Schedules one aggregated dispatch per app core for events gathered while
+  // `collecting_` (i.e. during an RX burst continuation).
+  void FlushCollectedEvents();
   void FlushBatch(size_t app_core);
   void DispatchEvent(const PendingEvent& event);
   ConnEntry* Entry(ConnId conn);
@@ -135,6 +141,23 @@ class EngineStack : public Stack, public TcpEngineHost {
     EventHandle flush_timer;
   };
   std::vector<Batch> batches_;
+
+  // Per-NIC-queue RX burst state (gathered by DrainRxQueue, retired by one
+  // aggregated event). Buffers keep capacity across bursts.
+  struct RxQueueState {
+    std::vector<PacketPtr> batch;
+    bool draining = false;
+  };
+  std::vector<RxQueueState> rx_queues_;
+  // Packets emitted while a burst retires, flushed as one TransmitBurst.
+  std::vector<PacketPtr> tx_batch_;
+  bool tx_collect_ = false;
+  // App events raised while an RX burst retires: each is charged as it is
+  // raised, but a core's whole group dispatches with ONE event at the
+  // latest charge horizon (epoll wakes once with many ready events).
+  std::vector<std::vector<PendingEvent>> collected_events_;  // Per app core.
+  std::vector<TimeNs> collected_done_;                       // Per app core.
+  bool collecting_ = false;
   uint64_t backlog_drops_ = 0;
   Rng rng_;
 };

@@ -53,6 +53,10 @@ struct StackCostModel {
   uint64_t tx_driver = 0;
   uint64_t tx_ip = 0;
   uint64_t tx_tcp = 0;
+  // Per pure-ACK transmission without payload work (window-update ACKs).
+  // Defaults to the TAS fast-path measurement so Table 1 ablations cover it;
+  // none of the calibrated models override it.
+  uint64_t tx_ack_cycles = 120;
   // Per application receive operation (epoll wakeup + recv or equivalent).
   uint64_t rx_api = 0;
   // Per application send operation.

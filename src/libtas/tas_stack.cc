@@ -34,6 +34,10 @@ const TasStack::Conn* TasStack::GetConn(ConnId id) const {
 }
 
 void TasStack::AtCoreHorizon(Core* core, std::function<void()> fn) {
+  if (defer_pushes_) {
+    deferred_pushes_.push_back(std::move(fn));
+    return;
+  }
   const TimeNs when = std::max(service_->sim()->Now(), core->busy_until());
   service_->sim()->At(when, std::move(fn));
 }
@@ -146,20 +150,53 @@ void TasStack::DrainEvents(size_t context_index) {
   if (ctx.draining) {
     return;
   }
-  auto event = ctx.queues->rx().Pop();
-  if (!event) {
+  // One doorbell drains a batch of events (mTCP-style batched delivery).
+  // Each event is still one poll iteration on the app thread — epoll/recv in
+  // sockets mode, a direct queue read in low-level mode — so every event is
+  // charged individually: data events pay the full receive-API cost,
+  // bookkeeping events (tx-done, conn control) a cheap queue read. The
+  // batch then retires with a single aggregated dispatch.
+  const size_t budget =
+      static_cast<size_t>(std::max(1, service_->config().app_event_batch));
+  ctx.batch.clear();
+  TimeNs done = 0;
+  while (ctx.batch.size() < budget) {
+    auto event = ctx.queues->rx().Pop();
+    if (!event) {
+      break;
+    }
+    const uint64_t cycles = event->type == AppEventType::kRxData ? costs_->rx_api : 60;
+    done = ctx.core->Charge(CpuModule::kSockets, cycles);
+    ctx.batch.push_back(*event);
+  }
+  if (ctx.batch.empty()) {
     return;
   }
   ctx.draining = true;
-  // Each event delivery is one poll iteration on the app thread: epoll/recv
-  // in sockets mode, a direct queue read in low-level mode. Data events pay
-  // the full receive-API cost; bookkeeping events (tx-done, conn control)
-  // are a cheap queue read.
-  const uint64_t cycles = event->type == AppEventType::kRxData ? costs_->rx_api : 60;
-  const TimeNs done = ctx.core->Charge(CpuModule::kSockets, cycles);
-  service_->sim()->At(done, [this, context_index, e = *event] {
-    contexts_[context_index].draining = false;
-    DispatchEvent(context_index, e);
+  service_->sim()->At(done, [this, context_index] {
+    Context& c = contexts_[context_index];
+    // draining stays set through dispatch: handlers may push commands whose
+    // completion notifies this context again, and a nested drain would
+    // clobber the batch being iterated.
+    defer_pushes_ = true;
+    for (const AppEvent& e : c.batch) {
+      DispatchEvent(context_index, e);
+    }
+    defer_pushes_ = false;
+    if (!deferred_pushes_.empty()) {
+      // All callbacks above charged c.core; their queue pushes ride one
+      // aggregated event at the batch's final work horizon instead of one
+      // each (each push would have been at or before this horizon).
+      const TimeNs when =
+          std::max(service_->sim()->Now(), c.core->busy_until());
+      service_->sim()->At(when, [fns = std::move(deferred_pushes_)] {
+        for (const auto& fn : fns) {
+          fn();
+        }
+      });
+      deferred_pushes_ = std::vector<std::function<void()>>();
+    }
+    c.draining = false;
     DrainEvents(context_index);
   });
 }

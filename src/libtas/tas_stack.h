@@ -58,6 +58,9 @@ class TasStack : public Stack {
     uint16_t id = 0;       // TAS-side context id.
     Core* core = nullptr;  // App core this context's thread runs on.
     bool draining = false;
+    // Events gathered for the current aggregated dispatch; keeps its
+    // capacity across drains.
+    std::vector<AppEvent> batch;
   };
 
   void DrainEvents(size_t context_index);
@@ -65,6 +68,9 @@ class TasStack : public Stack {
   Conn* GetConn(ConnId id);
   const Conn* GetConn(ConnId id) const;
   // Schedules `fn` at the app core's current work horizon (post-charge).
+  // During a batched event dispatch the pushes are deferred instead and
+  // flushed as ONE event at the batch's final horizon (the app thread rings
+  // its doorbells once per wakeup, not once per callback).
   void AtCoreHorizon(Core* core, std::function<void()> fn);
 
   TasService* service_;
@@ -73,6 +79,10 @@ class TasStack : public Stack {
   std::vector<Context> contexts_;
   std::unordered_map<ConnId, Conn> conns_;  // Keyed by flow id.
   size_t next_context_rr_ = 0;  // Round-robin for accepted/united conns.
+  // AtCoreHorizon deferral state; only set inside a DrainEvents dispatch
+  // continuation (all callbacks there run on one context's core).
+  bool defer_pushes_ = false;
+  std::vector<std::function<void()>> deferred_pushes_;
 };
 
 }  // namespace tas

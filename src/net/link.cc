@@ -105,12 +105,20 @@ void Link::Send(int from_side, PacketPtr pkt) {
 
 void Link::Enqueue(int from_side, PacketPtr pkt) {
   Direction& d = dir_[from_side];
-  d.stats.queue_pkts.Add(static_cast<double>(d.queue.size()));
-  if (d.queue.size() >= config_.queue_limit_pkts) {
+  // Frames whose serialization started are truly gone from the buffer.
+  while (!d.pending_serialize.empty() && d.pending_serialize.front() <= sim_->Now()) {
+    d.pending_serialize.pop_front();
+  }
+  // Occupancy counts waiting frames plus admitted-but-unserialized burst
+  // frames: burst delivery must not make the buffer look emptier than the
+  // per-frame transmitter would (drop-tail and ECN depend on it).
+  const size_t occupancy = d.queue.size() + d.pending_serialize.size();
+  d.stats.queue_pkts.Add(static_cast<double>(occupancy));
+  if (occupancy >= config_.queue_limit_pkts) {
     d.stats.drops_overflow++;
     return;
   }
-  if (config_.ecn_threshold_pkts > 0 && d.queue.size() >= config_.ecn_threshold_pkts &&
+  if (config_.ecn_threshold_pkts > 0 && occupancy >= config_.ecn_threshold_pkts &&
       pkt->ip.ecn != Ecn::kNotEct) {
     pkt->ip.ecn = Ecn::kCe;
     d.stats.ecn_marks++;
@@ -139,14 +147,22 @@ void Link::Enqueue(int from_side, PacketPtr pkt) {
     pkt = std::move(reparsed);
   }
   d.queue.push_back(std::move(pkt));
-  if (!d.transmitting) {
-    if (sim_->Now() >= d.busy_until) {
-      StartTransmit(from_side);
-    } else {
-      // Wire still serializing the previous packet; wake up when it frees.
-      d.transmitting = true;
-      sim_->At(d.busy_until, [this, from_side] { StartTransmit(from_side); });
-    }
+  if (d.admit_depth == 0) {
+    MaybeStartTransmit(from_side);
+  }
+}
+
+void Link::MaybeStartTransmit(int from_side) {
+  Direction& d = dir_[from_side];
+  if (d.transmitting || d.queue.empty()) {
+    return;
+  }
+  if (sim_->Now() >= d.busy_until) {
+    StartTransmit(from_side);
+  } else {
+    // Wire still serializing the previous burst; wake up when it frees.
+    d.transmitting = true;
+    sim_->At(d.busy_until, [this, from_side] { StartTransmit(from_side); });
   }
 }
 
@@ -156,30 +172,50 @@ void Link::StartTransmit(int dir_index) {
     d.transmitting = false;
     return;
   }
-  PacketPtr pkt = std::move(d.queue.front());
-  d.queue.pop_front();
-  const TimeNs serialize = TransmitTimeNs(pkt->WireBytes(), config_.gbps);
-  d.stats.tx_packets++;
-  d.stats.tx_bytes += pkt->WireBytes();
-  if (d.pcap != nullptr) {
-    d.pcap->Record(sim_->Now(), *pkt);
+  // Serialize up to burst_pkts frames back to back (time-bounded so large
+  // frames don't defer delivery far) and deliver them with ONE event when
+  // the last frame lands. Per-frame wire time, FIFO order, and the
+  // transmitter-busy window are identical to per-frame dispatch; only the
+  // delivery instant of leading frames moves, by less than burst_max_ns.
+  const size_t max_burst = std::max<size_t>(1, config_.burst_pkts);
+  size_t n = 0;
+  TimeNs serialize_total = 0;
+  while (n < max_burst && !d.queue.empty()) {
+    const TimeNs serialize = TransmitTimeNs(d.queue.front()->WireBytes(), config_.gbps);
+    if (n > 0 && serialize_total + serialize > config_.burst_max_ns) {
+      break;
+    }
+    PacketPtr pkt = std::move(d.queue.front());
+    d.queue.pop_front();
+    d.stats.tx_packets++;
+    d.stats.tx_bytes += pkt->WireBytes();
+    if (d.pcap != nullptr) {
+      // Stamp each frame at its own wire-start time, as before.
+      d.pcap->Record(sim_->Now() + serialize_total, *pkt);
+    }
+    if (n > 0) {
+      d.pending_serialize.push_back(sim_->Now() + serialize_total);
+    }
+    serialize_total += serialize;
+    d.wire.push_back(std::move(pkt));
+    ++n;
   }
-
-  // Deliver after serialization + propagation; the transmitter frees after
-  // serialization only, so back-to-back packets pipeline onto the wire.
-  d.busy_until = sim_->Now() + serialize;
-  sim_->After(serialize + config_.propagation_delay,
-              [this, dir_index, pkt = std::move(pkt)]() mutable {
-                Direction& dd = dir_[dir_index];
-                if (dd.dst != nullptr) {
-                  dd.dst->Receive(std::move(pkt));
-                }
-              });
+  d.busy_until = sim_->Now() + serialize_total;
+  sim_->After(serialize_total + config_.propagation_delay, [this, dir_index, n] {
+    Direction& dd = dir_[dir_index];
+    for (size_t i = 0; i < n && !dd.wire.empty(); ++i) {
+      PacketPtr pkt = std::move(dd.wire.front());
+      dd.wire.pop_front();
+      if (dd.dst != nullptr) {
+        dd.dst->Receive(std::move(pkt));
+      }
+    }
+  });
   if (d.queue.empty()) {
     d.transmitting = false;  // Idle; Enqueue re-arms at busy_until if needed.
   } else {
     d.transmitting = true;
-    sim_->After(serialize, [this, dir_index] { StartTransmit(dir_index); });
+    sim_->After(serialize_total, [this, dir_index] { StartTransmit(dir_index); });
   }
 }
 

@@ -50,6 +50,17 @@ struct LinkConfig {
   // parsed copy. Slow; catches any header field the stacks forget to set,
   // and is where corruption impairments flip real wire bits.
   bool validate_wire_format = false;
+  // Frames serialized back-to-back per transmit continuation and delivered
+  // by ONE event at the last frame's arrival (the receive-side completion
+  // batching real NICs do). 1 = per-frame delivery events (pre-batching
+  // behavior). Per-frame serialization cost and FIFO order are unchanged;
+  // only the delivery instant of leading frames moves, by at most the
+  // burst's wire time (bounded below).
+  size_t burst_pkts = 16;
+  // Upper bound on one burst's total serialization time, so large frames
+  // don't defer delivery far (a 64B RPC burst spans ~1.5us at 10G; bulk
+  // 1448B frames cut over to 1-2 per burst).
+  TimeNs burst_max_ns = Us(2);
 };
 
 struct LinkStats {
@@ -76,7 +87,32 @@ class Link {
 
   void Send(int from_side, PacketPtr pkt);
 
-  size_t QueueLen(int from_side) const { return dir_[from_side].queue.size(); }
+  // Same-instant burst admission (NIC TX rings and switch flushes hand the
+  // wire several frames in one call): between BeginAdmit and EndAdmit,
+  // admitted frames do not start the transmitter; EndAdmit starts it once,
+  // so the whole wave serializes as one burst with one delivery event
+  // instead of the first frame leaving alone. Purely an event-count
+  // optimization — admission order, occupancy, and wire timing are those of
+  // back-to-back Send calls. Nestable.
+  void BeginAdmit(int from_side) { ++dir_[from_side].admit_depth; }
+  void EndAdmit(int from_side) {
+    Direction& d = dir_[from_side];
+    if (--d.admit_depth == 0) {
+      MaybeStartTransmit(from_side);
+    }
+  }
+
+  // Egress buffer occupancy: waiting frames plus burst-admitted frames whose
+  // wire serialization has not started yet (at most burst_pkts - 1).
+  size_t QueueLen(int from_side) const {
+    const Direction& d = dir_[from_side];
+    size_t unserialized = 0;
+    for (auto it = d.pending_serialize.rbegin();
+         it != d.pending_serialize.rend() && *it > sim_->Now(); ++it) {
+      ++unserialized;
+    }
+    return d.queue.size() + unserialized;
+  }
   const LinkStats& stats(int from_side) const { return dir_[from_side].stats; }
   const LinkConfig& config() const { return config_; }
 
@@ -134,6 +170,14 @@ class Link {
     // non-saturated links).
     bool transmitting = false;
     TimeNs busy_until = 0;
+    // Frames on the wire, FIFO: each delivery event pops its burst's count
+    // off the front. Owned here so sim teardown recycles them via the pool.
+    std::deque<PacketPtr> wire;
+    // Wire-start times of admitted-but-not-yet-serialized frames. They still
+    // occupy the egress buffer physically, so occupancy-driven decisions
+    // (drop-tail, ECN, queue stats) count them; drained lazily at Enqueue.
+    std::deque<TimeNs> pending_serialize;
+    int admit_depth = 0;  // >0: hold transmitter start until EndAdmit.
     NetDevice* dst = nullptr;
     LinkStats stats;
     ImpairmentPipeline pipeline;
@@ -145,6 +189,9 @@ class Link {
   // FIFO admission after impairments: occupancy sampling, overflow drop, ECN
   // marking, optional wire-format validation.
   void Enqueue(int from_side, PacketPtr pkt);
+  // Kicks the transmitter if it is idle and frames are waiting (immediately,
+  // or at busy_until while the wire finishes the previous serialization).
+  void MaybeStartTransmit(int from_side);
   void StartTransmit(int dir_index);
 
   Simulator* sim_;
@@ -159,6 +206,8 @@ struct LinkEnd {
   int side = 0;
 
   void Send(PacketPtr pkt) const { link->Send(side, std::move(pkt)); }
+  void BeginAdmit() const { link->BeginAdmit(side); }
+  void EndAdmit() const { link->EndAdmit(side); }
   void Attach(NetDevice* device) const { link->Attach(side, device); }
   bool valid() const { return link != nullptr; }
 };

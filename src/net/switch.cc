@@ -1,5 +1,7 @@
 #include "src/net/switch.h"
 
+#include <algorithm>
+
 namespace tas {
 
 // Adapter: receives packets from one link and hands them to the switch.
@@ -52,11 +54,38 @@ void Switch::HandlePacket(PacketPtr pkt) {
     port = candidates[h % candidates.size()];
   }
   ++forwarded_;
-  // The event node owns the packet; if the event never fires (sim teardown)
-  // its destruction returns the packet to the pool.
-  sim_->After(forwarding_latency_, [this, port, pkt = std::move(pkt)]() mutable {
-    ports_[static_cast<size_t>(port)]->Send(std::move(pkt));
-  });
+  // Arrivals are FIFO in time, so due times are monotone; the pending queue
+  // owns the packets (sim teardown recycles them via the pool).
+  pending_.push_back(Pending{sim_->Now() + forwarding_latency_, port, std::move(pkt)});
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_->After(forwarding_latency_, [this] { Flush(); });
+  }
+}
+
+void Switch::Flush() {
+  flush_scheduled_ = false;
+  // Burst-admit per egress link so a forwarded wave leaves each port as one
+  // serialized train (one delivery event) instead of frame-by-frame.
+  touched_ports_.clear();
+  while (!pending_.empty() && pending_.front().due <= sim_->Now()) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    Port* port = ports_[static_cast<size_t>(p.port)].get();
+    if (std::find(touched_ports_.begin(), touched_ports_.end(), p.port) ==
+        touched_ports_.end()) {
+      touched_ports_.push_back(p.port);
+      port->end().BeginAdmit();
+    }
+    port->Send(std::move(p.pkt));
+  }
+  for (const int port : touched_ports_) {
+    ports_[static_cast<size_t>(port)]->end().EndAdmit();
+  }
+  if (!pending_.empty()) {
+    flush_scheduled_ = true;
+    sim_->At(pending_.front().due, [this] { Flush(); });
+  }
 }
 
 void Switch::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {

@@ -8,6 +8,7 @@
 #ifndef SRC_NET_SWITCH_H_
 #define SRC_NET_SWITCH_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -48,12 +49,25 @@ class Switch {
   class Port;
 
   void HandlePacket(PacketPtr pkt);
+  void Flush();
 
   Simulator* sim_;
   std::string name_;
   TimeNs forwarding_latency_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<IpAddr, std::vector<int>> routes_;
+  // Routed packets awaiting their forwarding-latency expiry, FIFO by due
+  // time. One flush event per distinct arrival instant forwards every packet
+  // due at that moment — a burst delivered by a link shares one event while
+  // per-packet timing stays exact.
+  struct Pending {
+    TimeNs due;
+    int port;
+    PacketPtr pkt;
+  };
+  std::deque<Pending> pending_;
+  bool flush_scheduled_ = false;
+  std::vector<int> touched_ports_;  // Ports burst-admitted by the running Flush.
   uint64_t forwarded_ = 0;
   uint64_t no_route_drops_ = 0;
 };

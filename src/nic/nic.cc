@@ -1,5 +1,7 @@
 #include "src/nic/nic.h"
 
+#include <algorithm>
+
 #include "src/net/packet_pool.h"
 
 namespace tas {
@@ -84,6 +86,26 @@ PacketPtr SimNic::PopRx(int queue) {
   PacketPtr pkt = std::move(ring.pkts.front());
   ring.pkts.pop_front();
   return pkt;
+}
+
+size_t SimNic::PopRxBurst(int queue, PacketPtr* out, size_t max) {
+  Ring& ring = *rings_[static_cast<size_t>(queue)];
+  const size_t n = std::min(max, ring.pkts.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::move(ring.pkts.front());
+    ring.pkts.pop_front();
+  }
+  return n;
+}
+
+void SimNic::TransmitBurst(PacketPtr* pkts, size_t count) {
+  // Admit the whole ring's worth before the wire starts: the burst leaves as
+  // one serialized train with one delivery event (DPDK tx-burst analogue).
+  tx_end_.BeginAdmit();
+  for (size_t i = 0; i < count; ++i) {
+    Transmit(std::move(pkts[i]));
+  }
+  tx_end_.EndAdmit();
 }
 
 void SimNic::SetRxNotify(int queue, std::function<void()> fn) {

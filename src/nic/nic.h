@@ -58,6 +58,11 @@ class SimNic : public NetDevice {
 
   // --- Host side -----------------------------------------------------------
   PacketPtr PopRx(int queue);
+  // DPDK rte_eth_rx_burst-style descriptor-array receive: moves up to `max`
+  // packets from the ring into `out` and returns how many were taken.
+  size_t PopRxBurst(int queue, PacketPtr* out, size_t max);
+  // Transmit a descriptor array; entries are consumed (left null).
+  void TransmitBurst(PacketPtr* pkts, size_t count);
   size_t RxQueueLen(int queue) const { return rings_[queue]->pkts.size(); }
   bool RxEmpty(int queue) const { return rings_[queue]->pkts.empty(); }
 

@@ -10,10 +10,31 @@ bool AppContext::PushEvent(const AppEvent& event) {
     ++dropped_events_;
     return false;
   }
-  if (was_empty && app_notify_) {
+  if (defer_depth_ > 0) {
+    // Every push after the first in a defer window would have rung its own
+    // doorbell in the synchronous-drain world (the app empties the queue on
+    // each wakeup); count those as coalesced.
+    if (pending_notify_) {
+      ++doorbells_coalesced_;
+    } else if (was_empty) {
+      pending_notify_ = true;
+    }
+  } else if (was_empty && app_notify_) {
     app_notify_();
   }
   return true;
+}
+
+void AppContext::EndNotifyDefer() {
+  if (--defer_depth_ > 0) {
+    return;
+  }
+  if (pending_notify_) {
+    pending_notify_ = false;
+    if (app_notify_) {
+      app_notify_();
+    }
+  }
 }
 
 bool AppContext::PushCommand(const TxCommand& command) {

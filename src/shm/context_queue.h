@@ -77,7 +77,17 @@ class AppContext {
   bool PushEvent(const AppEvent& event);
   bool PushCommand(const TxCommand& command);
 
+  // Doorbell coalescing (libTAS queue-doorbell behavior): between
+  // BeginNotifyDefer and EndNotifyDefer, app wakeups requested by PushEvent
+  // are latched instead of fired; EndNotifyDefer rings at most one doorbell
+  // for the whole window. The fast path brackets each batch with these.
+  void BeginNotifyDefer() { ++defer_depth_; }
+  void EndNotifyDefer();
+
   uint64_t dropped_events() const { return dropped_events_; }
+  // Doorbells suppressed by coalescing (notify requests beyond the first in
+  // a defer window).
+  uint64_t doorbells_coalesced() const { return doorbells_coalesced_; }
 
  private:
   SpscQueue<AppEvent> rx_;
@@ -85,6 +95,9 @@ class AppContext {
   std::function<void()> app_notify_;
   std::function<void()> fastpath_notify_;
   uint64_t dropped_events_ = 0;
+  int defer_depth_ = 0;
+  bool pending_notify_ = false;
+  uint64_t doorbells_coalesced_ = 0;
 };
 
 }  // namespace tas

@@ -22,7 +22,9 @@
 #ifndef SRC_TAS_FAST_PATH_H_
 #define SRC_TAS_FAST_PATH_H_
 
+#include <array>
 #include <deque>
+#include <vector>
 
 #include "src/tas/flow.h"
 #include "src/tas/service.h"
@@ -49,6 +51,13 @@ class FastPathCore {
   // cost was already charged by the slow path's exception handling.
   void InjectPacket(PacketPtr pkt) { ProcessPacket(std::move(pkt)); }
 
+  // Batch observability (aggregated across cores by TasService's metrics).
+  // RX occupancy histogram buckets: 0, 1, 2, 3-4, 5-8, 9+ packets gathered.
+  static constexpr size_t kOccBuckets = 6;
+  const std::array<uint64_t, kOccBuckets>& rx_occupancy() const { return rx_occupancy_; }
+  uint64_t batches() const { return batches_; }
+  uint64_t batch_items() const { return batch_items_; }
+
  private:
   struct WorkItem {
     enum class Type { kFlowTx, kWindowUpdate } type;
@@ -57,9 +66,13 @@ class FastPathCore {
 
   bool HasWork() const;
   void RunOne();
+  void CloseBatch();
   void ProcessPacket(PacketPtr pkt);
   void ProcessFlowTx(FlowId flow_id);
   void SendWindowUpdate(FlowId flow_id);
+  // Routes outgoing packets: collected for the batch-close TransmitBurst
+  // while a batch retires, transmitted directly otherwise.
+  void EmitPacket(PacketPtr pkt);
 
   // Receive-side helpers.
   void FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt);
@@ -76,6 +89,16 @@ class FastPathCore {
   bool blocked_ = false;
   TimeNs idle_since_ = 0;
   EventHandle block_timer_;
+
+  // In-flight batch (gathered by RunOne, retired by CloseBatch). The buffers
+  // keep their capacity across batches, so steady state allocates nothing.
+  std::vector<PacketPtr> batch_rx_;
+  std::vector<WorkItem> batch_work_;
+  std::vector<PacketPtr> batch_tx_;
+  bool in_batch_ = false;
+  std::array<uint64_t, kOccBuckets> rx_occupancy_{};
+  uint64_t batches_ = 0;
+  uint64_t batch_items_ = 0;
 };
 
 }  // namespace tas

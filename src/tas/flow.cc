@@ -54,6 +54,37 @@ void RingCopyOut(const uint8_t* base, uint32_t size, uint32_t pos, uint8_t* dst,
 
 }  // namespace
 
+void Flow::Reset() {
+  fs = FlowState{};
+  rx_mem.clear();  // clear() keeps capacity; the next resize() reuses it.
+  tx_mem.clear();
+  mss = 1448;
+  peer_wscale = 0;
+  ts_echo = 0;
+  rate_bps = 10e6;
+  cc_window = 0;
+  tx_tokens = 0;
+  tokens_updated = 0;
+  next_tx_time = 0;
+  tx_pending = false;
+  cstate = ConnState::kSynSent;
+  cc.reset();
+  wcc.reset();
+  last_seq_sampled = 0;
+  stalled_intervals = 0;
+  fin_received = false;
+  fin_sent = false;
+  fin_acked = false;
+  app_closed = false;
+  closed_event_sent = false;
+  in_dirty = false;
+  in_pending = false;
+  ctrl_retries = 0;
+  last_ctrl_send = 0;
+  timewait_start = 0;
+  established_at = 0;
+}
+
 void Flow::CopyIntoRx(uint32_t wire_pos, const uint8_t* src, uint32_t len) {
   if (len == 0) {
     return;

@@ -82,6 +82,10 @@ struct Flow {
 
   bool FastPathEligible() const { return cstate == ConnState::kEstablished; }
 
+  // Returns the record to freshly-constructed state while retaining the
+  // payload buffer capacity, so slab slot recycling stays allocation-free.
+  void Reset();
+
   // --- Buffer arithmetic (all positions are free-running wire sequences) ---
   uint32_t RxUsed() const { return fs.rx_head - fs.rx_tail; }
   uint32_t RxFree() const { return fs.rx_size - RxUsed(); }

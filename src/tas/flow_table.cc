@@ -1,0 +1,152 @@
+#include "src/tas/flow_table.h"
+
+#include "src/util/logging.h"
+
+namespace tas {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t HashKey(const FlowKey& key) { return FlowKeyHash{}(key); }
+
+}  // namespace
+
+FlowTable::FlowTable(size_t initial_capacity) {
+  const size_t cap = RoundUpPow2(initial_capacity < 16 ? 16 : initial_capacity);
+  ctrl_.assign(cap, kEmpty);
+  entries_.resize(cap);
+}
+
+FlowId FlowTable::Find(const FlowKey& key) const {
+  ++stats_.lookups;
+  const size_t mask = Mask();
+  size_t idx = HashKey(key) & mask;
+  uint64_t probe = 1;
+  for (size_t step = 1;; ++step) {
+    const uint8_t c = ctrl_[idx];
+    if (c == kEmpty) break;
+    if (c == kOccupied && entries_[idx].key == key) {
+      stats_.probes += probe;
+      if (probe > stats_.max_probe) stats_.max_probe = probe;
+      return entries_[idx].id;
+    }
+    // Triangular probing: cumulative offsets 1, 3, 6, ... visit every slot
+    // exactly once while capacity is a power of two.
+    idx = (idx + step) & mask;
+    ++probe;
+  }
+  stats_.probes += probe;
+  if (probe > stats_.max_probe) stats_.max_probe = probe;
+  return kInvalidFlow;
+}
+
+void FlowTable::Insert(const FlowKey& key, FlowId id) {
+  // Keep live + tombstone occupancy under 7/8 so probe chains stay short and
+  // Find's empty-slot termination is always reachable.
+  if ((size_ + tombstones_ + 1) * 8 > ctrl_.size() * 7) {
+    Rehash(ctrl_.size() * 2);
+  }
+  const size_t mask = Mask();
+  size_t idx = HashKey(key) & mask;
+  size_t first_tombstone = ctrl_.size();  // Sentinel: none seen.
+  for (size_t step = 1;; ++step) {
+    const uint8_t c = ctrl_[idx];
+    if (c == kEmpty) break;
+    if (c == kTombstone && first_tombstone == ctrl_.size()) {
+      first_tombstone = idx;
+    }
+    TAS_DCHECK(c != kOccupied || !(entries_[idx].key == key));
+    idx = (idx + step) & mask;
+  }
+  if (first_tombstone != ctrl_.size()) {
+    idx = first_tombstone;
+    --tombstones_;
+    ++stats_.tombstones_reused;
+  }
+  ctrl_[idx] = kOccupied;
+  entries_[idx].key = key;
+  entries_[idx].id = id;
+  ++size_;
+}
+
+bool FlowTable::Erase(const FlowKey& key) {
+  const size_t mask = Mask();
+  size_t idx = HashKey(key) & mask;
+  for (size_t step = 1;; ++step) {
+    const uint8_t c = ctrl_[idx];
+    if (c == kEmpty) return false;
+    if (c == kOccupied && entries_[idx].key == key) {
+      ctrl_[idx] = kTombstone;
+      ++tombstones_;
+      --size_;
+      return true;
+    }
+    idx = (idx + step) & mask;
+  }
+}
+
+void FlowTable::Rehash(size_t new_capacity) {
+  // If the table is mostly tombstones, rebuilding at the same capacity is
+  // enough; only grow when live entries actually need the room.
+  if (size_ * 8 <= ctrl_.size() * 7 / 2) {
+    new_capacity = ctrl_.size();
+  }
+  std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+  std::vector<Entry> old_entries = std::move(entries_);
+  ctrl_.assign(new_capacity, kEmpty);
+  entries_.resize(new_capacity);
+  size_ = 0;
+  tombstones_ = 0;
+  ++stats_.rehashes;
+  const size_t mask = Mask();
+  for (size_t i = 0; i < old_ctrl.size(); ++i) {
+    if (old_ctrl[i] != kOccupied) continue;
+    size_t idx = HashKey(old_entries[i].key) & mask;
+    for (size_t step = 1; ctrl_[idx] != kEmpty; ++step) {
+      idx = (idx + step) & mask;
+    }
+    ctrl_[idx] = kOccupied;
+    entries_[idx] = old_entries[i];
+    ++size_;
+  }
+}
+
+FlowId FlowSlab::Allocate() {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ == capacity_slots()) {
+      chunks_.push_back(std::make_unique<Chunk>(kChunkSlots));
+    }
+    slot = static_cast<uint32_t>(slot_count_++);
+    TAS_DCHECK(slot < kFlowSlotMask);  // Slot 0xFFFFF reserved: id != kInvalidFlow.
+  }
+  Slot& s = SlotAt(slot);
+  s.live = true;
+  ++live_;
+  return MakeFlowId(slot, s.generation);
+}
+
+void FlowSlab::Free(FlowId id) {
+  Slot* s = nullptr;
+  const uint32_t slot = FlowSlotOf(id);
+  if (slot < slot_count_) {
+    Slot& cand = SlotAt(slot);
+    if (cand.live && cand.generation == FlowGenOf(id)) s = &cand;
+  }
+  TAS_DCHECK(s != nullptr);
+  if (s == nullptr) return;
+  s->flow.Reset();
+  s->generation = (s->generation + 1) & kFlowGenMask;
+  s->live = false;
+  --live_;
+  free_slots_.push_back(slot);
+}
+
+}  // namespace tas

@@ -1,0 +1,158 @@
+// Flat flow-state storage: open-addressing 4-tuple hash table + dense slab
+// of inline Flow slots with generation-checked ids.
+//
+// The paper's capacity argument (§3.1, Table 3) is that per-flow state is
+// small enough to keep tens of thousands of flows cache-resident. The
+// original `unordered_map<FlowKey, FlowId>` over `vector<unique_ptr<Flow>>`
+// costs three dependent pointer hops per packet (bucket node -> id ->
+// heap-allocated Flow); the layout here costs two contiguous touches: a probe
+// over a flat ctrl-byte/entry array, then an index into an inline Flow slot.
+//
+// FlowTable
+//   Power-of-two capacity, triangular probing (i-th step advances by i, which
+//   visits every slot exactly once when capacity is a power of two),
+//   tombstone-marking erase with tombstone reuse on insert, rehash at 7/8
+//   occupancy (live + tombstones). Steady state — capacity stable — performs
+//   zero allocations; bench/micro_alloc audits this.
+//
+// FlowSlab
+//   Fixed 512-slot chunks so Flow addresses are stable across growth (the
+//   fast path holds `Flow&` across calls and fs.rx_base points into
+//   flow->rx_mem). Slots are recycled through a free list; each slot carries
+//   a generation that is bumped on Free, and FlowIds encode
+//   (generation << 20 | slot), so a stale id held by the slow path's pending
+//   scan or an app resolves to nullptr instead of a recycled flow.
+#ifndef SRC_TAS_FLOW_TABLE_H_
+#define SRC_TAS_FLOW_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/tas/flow.h"
+#include "src/tas/flow_state.h"
+
+namespace tas {
+
+// FlowId bit layout. 20 bits of slot index (1M concurrent flows, far beyond
+// the paper's per-core capacity claims) and 12 bits of generation. All valid
+// ids differ from kInvalidFlow (~0) because the slab never reaches slot
+// 0xFFFFF.
+inline constexpr int kFlowSlotBits = 20;
+inline constexpr uint32_t kFlowSlotMask = (1u << kFlowSlotBits) - 1;
+inline constexpr uint32_t kFlowGenMask = (1u << (32 - kFlowSlotBits)) - 1;
+
+inline uint32_t FlowSlotOf(FlowId id) { return id & kFlowSlotMask; }
+inline uint32_t FlowGenOf(FlowId id) { return (id >> kFlowSlotBits) & kFlowGenMask; }
+inline FlowId MakeFlowId(uint32_t slot, uint32_t generation) {
+  return ((generation & kFlowGenMask) << kFlowSlotBits) | (slot & kFlowSlotMask);
+}
+
+// Probe / occupancy statistics the MetricRegistry exports (tas.flow_table.*).
+struct FlowTableStats {
+  uint64_t lookups = 0;       // Find calls (hit or miss).
+  uint64_t probes = 0;        // Total probe steps across all lookups.
+  uint64_t max_probe = 0;     // Longest single lookup's probe length.
+  uint64_t rehashes = 0;
+  uint64_t tombstones_reused = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(size_t initial_capacity = 1024);
+
+  // Returns the stored id, or kInvalidFlow. Records probe-length stats.
+  FlowId Find(const FlowKey& key) const;
+  // Inserts a new key (must not be present); reuses the first tombstone on
+  // the probe path. May rehash (the only allocating operation).
+  void Insert(const FlowKey& key, FlowId id);
+  // Marks the key's slot as a tombstone. Returns false if absent.
+  bool Erase(const FlowKey& key);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ctrl_.size(); }
+  size_t tombstones() const { return tombstones_; }
+  double LoadFactor() const {
+    return ctrl_.empty() ? 0.0 : static_cast<double>(size_) / static_cast<double>(ctrl_.size());
+  }
+  const FlowTableStats& stats() const { return stats_; }
+  double AvgProbeLength() const {
+    return stats_.lookups == 0
+               ? 0.0
+               : static_cast<double>(stats_.probes) / static_cast<double>(stats_.lookups);
+  }
+
+ private:
+  enum Ctrl : uint8_t { kEmpty = 0, kTombstone = 1, kOccupied = 2 };
+  struct Entry {
+    FlowKey key;
+    FlowId id;
+  };
+
+  size_t Mask() const { return ctrl_.size() - 1; }
+  void Rehash(size_t new_capacity);
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<Entry> entries_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  mutable FlowTableStats stats_;
+};
+
+class FlowSlab {
+ public:
+  static constexpr size_t kChunkSlots = 512;
+
+  // Takes a slot from the free list (or appends one) and returns its current
+  // id. The Flow in the slot is in freshly Reset() state.
+  FlowId Allocate();
+  // Resets the flow, bumps the slot generation (staling outstanding ids) and
+  // recycles the slot. `id` must be live.
+  void Free(FlowId id);
+
+  // Generation-checked resolve: nullptr for stale or out-of-range ids.
+  Flow* Get(FlowId id) {
+    const uint32_t slot = FlowSlotOf(id);
+    if (slot >= slot_count_) return nullptr;
+    Slot& s = SlotAt(slot);
+    if (!s.live || s.generation != FlowGenOf(id)) return nullptr;
+    return &s.flow;
+  }
+  const Flow* Get(FlowId id) const { return const_cast<FlowSlab*>(this)->Get(id); }
+
+  // Iteration support for samplers / debug dumps.
+  size_t slot_count() const { return slot_count_; }
+  bool SlotLive(uint32_t slot) const { return slot < slot_count_ && SlotAt(slot).live; }
+  Flow& SlotFlow(uint32_t slot) { return SlotAt(slot).flow; }
+  FlowId SlotId(uint32_t slot) const {
+    return MakeFlowId(slot, SlotAt(slot).generation);
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity_slots() const { return chunks_.size() * kChunkSlots; }
+
+ private:
+  struct Slot {
+    Flow flow;
+    uint32_t generation = 0;
+    bool live = false;
+  };
+  using Chunk = std::vector<Slot>;  // Always kChunkSlots entries; never moves.
+
+  Slot& SlotAt(uint32_t slot) {
+    return (*chunks_[slot / kChunkSlots])[slot % kChunkSlots];
+  }
+  const Slot& SlotAt(uint32_t slot) const {
+    return (*chunks_[slot / kChunkSlots])[slot % kChunkSlots];
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<uint32_t> free_slots_;
+  size_t slot_count_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace tas
+
+#endif  // SRC_TAS_FLOW_TABLE_H_

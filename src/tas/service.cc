@@ -71,6 +71,48 @@ void TasService::RegisterTraceInstrumentation() {
                  [this] { return slow_path_->control_iterations(); });
   m.AddGauge("tas.active_cores", [this] { return static_cast<double>(active_cores_); });
   m.AddGauge("tas.live_flows", [this] { return static_cast<double>(live_flows_); });
+  m.AddCounterFn("tas.flow_table.lookups", [this] { return flow_table_.stats().lookups; });
+  m.AddCounterFn("tas.flow_table.probes", [this] { return flow_table_.stats().probes; });
+  m.AddCounterFn("tas.flow_table.rehashes", [this] { return flow_table_.stats().rehashes; });
+  m.AddCounterFn("tas.flow_table.tombstones_reused",
+                 [this] { return flow_table_.stats().tombstones_reused; });
+  m.AddGauge("tas.flow_table.load_factor", [this] { return flow_table_.LoadFactor(); });
+  m.AddGauge("tas.flow_table.tombstones",
+             [this] { return static_cast<double>(flow_table_.tombstones()); });
+  m.AddGauge("tas.flow_table.avg_probe_len", [this] { return flow_table_.AvgProbeLength(); });
+  m.AddGauge("tas.flow_table.max_probe_len",
+             [this] { return static_cast<double>(flow_table_.stats().max_probe); });
+  // Fast-path batching: per-core counters aggregated across cores. The RX
+  // occupancy histogram buckets are 0 / 1 / 2 / 3-4 / 5-8 / 9+ packets.
+  m.AddCounterFn("tas.fastpath.batches", [this] {
+    uint64_t sum = 0;
+    for (auto& fp : fastpaths_) sum += fp->batches();
+    return sum;
+  });
+  m.AddCounterFn("tas.fastpath.batch_items", [this] {
+    uint64_t sum = 0;
+    for (auto& fp : fastpaths_) sum += fp->batch_items();
+    return sum;
+  });
+  static const char* kOccNames[FastPathCore::kOccBuckets] = {"0", "1", "2",
+                                                             "4", "8", "9plus"};
+  for (size_t b = 0; b < FastPathCore::kOccBuckets; ++b) {
+    m.AddCounterFn(std::string("tas.fastpath.rx_batch_occ.") + kOccNames[b], [this, b] {
+      uint64_t sum = 0;
+      for (auto& fp : fastpaths_) sum += fp->rx_occupancy()[b];
+      return sum;
+    });
+  }
+  m.AddCounterFn("tas.contexts.doorbells_coalesced", [this] {
+    uint64_t sum = 0;
+    for (AppContext* ctx : contexts_) sum += ctx->doorbells_coalesced();
+    return sum;
+  });
+  m.AddCounterFn("tas.contexts.dropped_events", [this] {
+    uint64_t sum = 0;
+    for (AppContext* ctx : contexts_) sum += ctx->dropped_events();
+    return sum;
+  });
   nic_->RegisterMetrics(&m, "nic");
   PacketPool::Current().RegisterMetrics(&m, "pktpool");
 
@@ -128,9 +170,12 @@ void TasService::RegisterTraceInstrumentation() {
     if (config_.trace.sample_flows) {
       sampler.AddSweepHook([this, max_pts](TimeNs now) {
         TimeSeriesSampler& s = tracer_->sampler();
-        for (size_t i = 0; i < flows_.size(); ++i) {
-          const Flow* f = flows_[i].get();
-          if (f == nullptr || f->cstate == ConnState::kFreed) {
+        for (uint32_t i = 0; i < flows_.slot_count(); ++i) {
+          if (!flows_.SlotLive(i)) {
+            continue;
+          }
+          const Flow* f = &flows_.SlotFlow(i);
+          if (f->cstate == ConnState::kFreed) {
             continue;
           }
           const std::string p = "flow." + std::to_string(i) + ".";
@@ -220,14 +265,12 @@ Flow* TasService::LookupFlow(const FlowKey& key) {
   return id == kInvalidFlow ? nullptr : flow_by_id(id);
 }
 
-FlowId TasService::LookupFlowId(const FlowKey& key) {
-  auto it = flow_table_.find(key);
-  return it == flow_table_.end() ? kInvalidFlow : it->second;
-}
+FlowId TasService::LookupFlowId(const FlowKey& key) { return flow_table_.Find(key); }
 
 FlowId TasService::AllocateFlow(const FlowKey& key) {
-  TAS_CHECK(flow_table_.find(key) == flow_table_.end());
-  auto flow = std::make_unique<Flow>();
+  TAS_CHECK(flow_table_.Find(key) == kInvalidFlow);
+  const FlowId id = flows_.Allocate();
+  Flow* flow = flows_.Get(id);
   flow->rx_mem.resize(config_.rx_buffer_bytes);
   flow->tx_mem.resize(config_.tx_buffer_bytes);
   flow->fs.rx_base = flow->rx_mem.data();
@@ -256,9 +299,7 @@ FlowId TasService::AllocateFlow(const FlowKey& key) {
   flow->fs.tx_tail = iss + 1;
   flow->fs.tx_sent = 0;
 
-  flows_.push_back(std::move(flow));
-  const FlowId id = static_cast<FlowId>(flows_.size() - 1);
-  flow_table_[key] = id;
+  flow_table_.Insert(key, id);
   ++port_use_count_[key.local_port];
   ++live_flows_;
   return id;
@@ -269,9 +310,9 @@ void TasService::FreeFlow(FlowId id) {
   if (flow == nullptr) {
     return;
   }
-  flow_table_.erase(FlowKey{flow->fs.local_port, flow->fs.peer_ip, flow->fs.peer_port});
+  flow_table_.Erase(FlowKey{flow->fs.local_port, flow->fs.peer_ip, flow->fs.peer_port});
   --port_use_count_[flow->fs.local_port];
-  flows_[id].reset();
+  flows_.Free(id);
   --live_flows_;
 }
 

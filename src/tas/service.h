@@ -8,7 +8,6 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cc/dctcp_rate.h"
@@ -17,6 +16,7 @@
 #include "src/nic/nic.h"
 #include "src/shm/context_queue.h"
 #include "src/tas/flow.h"
+#include "src/tas/flow_table.h"
 #include "src/trace/tracer.h"
 #include "src/util/rng.h"
 
@@ -49,6 +49,11 @@ struct TasConfig {
   DctcpRateConfig dctcp;
   TimeNs control_interval = Us(50);     // tau; paper default 2 RTTs.
   int rto_stall_intervals = 2;          // Intervals without progress -> rexmit.
+  // Floor on the data-path retransmission timeout (RFC 6298 clamps RTO from
+  // below; datacenter stacks use low-millisecond floors). Guards flows whose
+  // RTT estimate is missing or stale-low against spurious resets when
+  // queueing or batched delivery delays an ACK past a few control intervals.
+  TimeNs min_rto = Ms(1);
 
   // Connection parameters.
   uint16_t mss = 1448;
@@ -59,6 +64,15 @@ struct TasConfig {
   int max_handshake_retries = 8;
   TimeNs time_wait = Ms(1);
   OooMode ooo_mode = OooMode::kSingleInterval;
+
+  // Fast-path batching (paper §3.1: DPDK-style bursts). Each RunOne()
+  // dispatch drains up to this many RX packets plus queued TX/window-update
+  // work and retires them with a single aggregated completion event.
+  // 1 reproduces the pre-batching packet-serial semantics exactly.
+  int rx_batch_size = 16;
+  // libTAS-side analogue: events drained from a context queue per app
+  // wakeup (mTCP-style batched event delivery).
+  int app_event_batch = 16;
 
   // CPU cost model for the fast path side.
   const StackCostModel* costs = &TasSocketsCostModel();
@@ -136,11 +150,11 @@ class TasService {
 
   // --- Internal API shared by fast path / slow path / libtas ----------------
   AppContext* context(uint16_t id) { return contexts_[id]; }
+  uint16_t num_contexts() const { return static_cast<uint16_t>(contexts_.size()); }
   Flow* LookupFlow(const FlowKey& key);
   FlowId LookupFlowId(const FlowKey& key);
-  Flow* flow_by_id(FlowId id) {
-    return id < flows_.size() ? flows_[id].get() : nullptr;
-  }
+  // Generation-checked: a stale id (slot recycled since) yields nullptr.
+  Flow* flow_by_id(FlowId id) { return flows_.Get(id); }
   FlowId AllocateFlow(const FlowKey& key);
   void FreeFlow(FlowId id);
   uint16_t AllocateEphemeralPort();
@@ -174,8 +188,8 @@ class TasService {
   std::unique_ptr<SlowPath> slow_path_;
   std::vector<AppContext*> contexts_;
 
-  std::vector<std::unique_ptr<Flow>> flows_;
-  std::unordered_map<FlowKey, FlowId, FlowKeyHash> flow_table_;
+  FlowSlab flows_;
+  FlowTable flow_table_;
   std::vector<FlowId> dirty_flows_;
   size_t live_flows_ = 0;
   uint16_t next_ephemeral_ = 20000;

@@ -489,15 +489,21 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
   feedback.app_limited = flow.TxAvailable() == 0;
 
   // Retransmission timeout detection (paper §3.2): outstanding data with no
-  // progress across control intervals triggers a fast-path reset. The stall
-  // threshold adapts to the measured RTT so slow (rate-limited) flows are
-  // not reset spuriously when an ACK simply has not had time to return.
+  // ACK progress across control intervals triggers a fast-path reset. The
+  // timer is armed by the oldest unacked byte — transmitting *new* data does
+  // not rearm it (RFC 6298 §5.1), so a sender trickling fresh segments into a
+  // black hole still times out. The seq-unchanged fallback applies only to
+  // flows with no RTT sample yet (first window still in flight), where the
+  // 4*RTT guard below cannot protect a long path from a spurious reset.
   bool timed_out = false;
   if (flow.fs.tx_sent > 0 && flow.fs.cnt_ackb == 0 &&
-      flow.fs.seq == flow.last_seq_sampled) {
+      (flow.fs.rtt_est > 0 || flow.fs.seq == flow.last_seq_sampled)) {
     const TimeNs rtt = static_cast<TimeNs>(flow.fs.rtt_est) * kNsPerUs;
+    const TimeNs stall_ns =
+        std::max(service_->config().min_rto,
+                 static_cast<TimeNs>(service_->config().rto_stall_intervals) * interval);
     const int required = std::max<int>(
-        service_->config().rto_stall_intervals,
+        static_cast<int>(stall_ns / std::max<TimeNs>(interval, 1)),
         static_cast<int>(4 * rtt / std::max<TimeNs>(interval, 1)) + 1);
     if (++flow.stalled_intervals >= required) {
       timed_out = true;
