@@ -1,0 +1,102 @@
+// latency_gate: CI regression gate for per-stage latency percentiles.
+//
+// Usage: latency_gate <baseline.json> <current.json> [tolerance]
+//
+// Both files hold a LatencyReport as emitted by perf_smoke's
+// PERF_LATENCY_JSON line (or a Tracer's <prefix>.latency.json dump). The
+// gate fails (exit 1) when the current run's p99 or mean for any stage
+// regresses beyond `tolerance` (fractional, default 0.25 = +25%) relative
+// to the baseline. Improvements always pass; stages with too few samples
+// for a stable p99 are skipped (see CompareLatencyReports). The simulator
+// is deterministic, so on an unchanged workload the reports are identical
+// and the generous default tolerance only trips on real cost-model or
+// data-path changes — in which case the baseline should be re-recorded
+// deliberately (see EXPERIMENTS.md).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/trace/latency.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  // perf_smoke output may be piped in whole; keep only the report line if
+  // the file contains the PERF_LATENCY_JSON prefix.
+  const std::string prefix = "PERF_LATENCY_JSON ";
+  const size_t pos = out->find(prefix);
+  if (pos != std::string::npos) {
+    const size_t start = pos + prefix.size();
+    const size_t end = out->find('\n', start);
+    *out = out->substr(start, end == std::string::npos ? std::string::npos : end - start);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: latency_gate <baseline.json> <current.json> [tolerance]\n";
+    return 2;
+  }
+  double tolerance = 0.25;
+  if (argc == 4) {
+    char* end = nullptr;
+    tolerance = std::strtod(argv[3], &end);
+    if (end == argv[3] || tolerance < 0) {
+      std::cerr << "latency_gate: bad tolerance '" << argv[3] << "'\n";
+      return 2;
+    }
+  }
+
+  std::string baseline_json;
+  std::string current_json;
+  if (!ReadFile(argv[1], &baseline_json)) {
+    std::cerr << "latency_gate: cannot read baseline " << argv[1] << "\n";
+    return 2;
+  }
+  if (!ReadFile(argv[2], &current_json)) {
+    std::cerr << "latency_gate: cannot read current " << argv[2] << "\n";
+    return 2;
+  }
+
+  bool ok = false;
+  const tas::LatencyReport baseline = tas::ParseLatencyReportJson(baseline_json, &ok);
+  if (!ok) {
+    std::cerr << "latency_gate: baseline is not a LatencyReport: " << argv[1] << "\n";
+    return 2;
+  }
+  const tas::LatencyReport current = tas::ParseLatencyReportJson(current_json, &ok);
+  if (!ok) {
+    std::cerr << "latency_gate: current is not a LatencyReport: " << argv[2] << "\n";
+    return 2;
+  }
+
+  const auto regressions = tas::CompareLatencyReports(baseline, current, tolerance);
+  std::cout << "latency_gate: tolerance +" << static_cast<int>(tolerance * 100 + 0.5)
+            << "%, " << baseline.stages.size() << " baseline stages, "
+            << current.stages.size() << " current stages\n";
+  std::cout << current.ToTable();
+  if (regressions.empty()) {
+    std::cout << "latency_gate: PASS (no stage regressed beyond tolerance)\n";
+    return 0;
+  }
+  for (const auto& r : regressions) {
+    std::printf("latency_gate: REGRESSION %s.%s: baseline %.0f ns -> current %.0f ns (%.2fx)\n",
+                r.stage.c_str(), r.metric.c_str(), r.baseline, r.current, r.ratio);
+  }
+  std::cout << "latency_gate: FAIL (" << regressions.size() << " regression"
+            << (regressions.size() == 1 ? "" : "s") << ")\n";
+  return 1;
+}

@@ -10,13 +10,26 @@
 #include <sys/time.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
+#include "src/trace/latency.h"
 
 namespace tas {
 namespace bench {
 namespace {
+
+// TAS_LATENCY=1 enables per-packet stage stamping on the TAS server and
+// emits a second machine-readable line (PERF_LATENCY_JSON) with the
+// per-stage percentile report; bench/latency_gate.cc compares it against
+// bench/baselines/perf_smoke_latency.json in CI. All values are sim-time
+// derived, so the report is deterministic for a given seed and scale.
+bool LatencyEnabled() {
+  const char* env = std::getenv("TAS_LATENCY");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
 
 // The same workload on the pre-pooling simulator core (std::function
 // events + shared_ptr cancel flags + per-packet heap allocation),
@@ -59,6 +72,7 @@ struct SmokeResult {
   size_t max_pending = 0;
   size_t event_nodes = 0;
   PacketPoolStats pool;
+  std::string latency_json;  // Empty unless TAS_LATENCY is set.
 };
 
 // Inlined fig6-style pipelined echo run (see RunEcho in bench_common.h);
@@ -73,6 +87,9 @@ SmokeResult RunSmoke() {
   std::vector<HostSpec> specs;
   std::vector<LinkConfig> links;
   specs.push_back(ServerSpec(StackKind::kTas, 1, 2, 64 * 1024));
+  if (LatencyEnabled()) {
+    specs.back().tas.trace.latency_stages = true;
+  }
   links.push_back(ServerLink());
   for (size_t i = 0; i < kClientHosts; ++i) {
     specs.push_back(IdealClientSpec());
@@ -137,6 +154,9 @@ SmokeResult RunSmoke() {
   result.max_pending = exp->sim().max_pending_events();
   result.event_nodes = exp->sim().event_nodes_total();
   result.pool = exp->packet_pool().stats();
+  if (LatencyEnabled()) {
+    result.latency_json = exp->host(0).tas()->tracer().latency().Report().ToJson();
+  }
   return result;
 }
 
@@ -219,6 +239,12 @@ void Run() {
             << ",\"event_nodes\":" << r.event_nodes
             << ",\"pkt_pool_allocated\":" << r.pool.allocated
             << ",\"pkt_pool_reused\":" << r.pool.reused << "}" << std::endl;
+
+  if (!r.latency_json.empty()) {
+    const LatencyReport report = ParseLatencyReportJson(r.latency_json);
+    std::cout << "\n" << report.ToTable();
+    std::cout << "PERF_LATENCY_JSON " << r.latency_json << std::endl;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/latency.h"
+
 namespace tas {
 
 EngineStack::EngineStack(Simulator* sim, HostPort* port, std::vector<Core*> app_cores,
@@ -171,6 +173,9 @@ void EngineStack::DrainRxQueue(int queue) {
     // persistent overload.
     if (core->busy_until() - sim_->Now() > config_.max_backlog) {
       ++backlog_drops_;
+      if (LatencyTracer* lt = LatencyTracer::Current()) {
+        lt->Abandon(pkt->lat_id);
+      }
       continue;
     }
     // Pure ACK / control segments take the short header-only path: no
@@ -222,6 +227,11 @@ void EngineStack::DrainRxQueue(int queue) {
 }
 
 void EngineStack::HandlePacket(int queue, PacketPtr pkt) {
+  if (LatencyTracer* lt = LatencyTracer::Current()) {
+    // Journey ends at the stack's protocol processing horizon, whether the
+    // segment is consumed, accepts a connection, or is dropped as stale.
+    lt->Finish(pkt->lat_id, LatencyStage::kFpRx, sim_->Now());
+  }
   const FlowKey key{pkt->tcp.dst_port, pkt->ip.src, pkt->tcp.src_port};
   auto it = demux_.find(key);
   if (it != demux_.end()) {
@@ -271,15 +281,30 @@ void EngineStack::EmitPacket(TcpConnection* conn, PacketPtr pkt) {
   }
   core->Charge(CpuModule::kDriver, costs.tx_driver);
   const TimeNs done = core->Charge(CpuModule::kTcp, cycles - costs.tx_driver);
+  LatencyTracer* lt = LatencyTracer::Current();
   if (tx_collect_) {
     // Inside an RX burst continuation: CPU cost is charged above as usual,
     // but the packet joins the burst's single transmit flush instead of
     // scheduling its own departure event (NIC DMA is asynchronous with the
     // descriptor-write the charge models).
+    if (lt != nullptr) {
+      // Leaves with the burst flush at this same instant: zero-width fp-tx.
+      pkt->lat_id = lt->Begin(sim_->Now());
+      lt->Stamp(pkt->lat_id, LatencyStage::kFpTx, sim_->Now());
+    }
     tx_batch_.push_back(std::move(pkt));
     return;
   }
-  sim_->At(done, [this, pkt = std::move(pkt)]() mutable { nic_->Transmit(std::move(pkt)); });
+  if (lt != nullptr) {
+    pkt->lat_id = lt->Begin(sim_->Now());
+  }
+  sim_->At(done, [this, pkt = std::move(pkt)]() mutable {
+    if (LatencyTracer* tracer = LatencyTracer::Current()) {
+      // TX-side protocol processing ends when the descriptor hits the NIC.
+      tracer->Stamp(pkt->lat_id, LatencyStage::kFpTx, sim_->Now());
+    }
+    nic_->Transmit(std::move(pkt));
+  });
 }
 
 void EngineStack::OnConnected(TcpConnection* conn) {

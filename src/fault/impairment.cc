@@ -247,6 +247,12 @@ void ImpairmentPipeline::AddAll(const FaultConfig& config) {
 bool ImpairmentPipeline::Remove(const Impairment* impairment) {
   for (auto it = impairments_.begin(); it != impairments_.end(); ++it) {
     if (it->get() == impairment) {
+      const ImpairmentStats& s = (*it)->stats();
+      retired_.processed += s.processed;
+      retired_.dropped += s.dropped;
+      retired_.corrupted += s.corrupted;
+      retired_.reordered += s.reordered;
+      retired_.duplicated += s.duplicated;
       impairments_.erase(it);
       return true;
     }
@@ -265,10 +271,42 @@ ImpairmentDecision ImpairmentPipeline::Apply(Packet& pkt, Rng& rng) {
   return decision;
 }
 
+uint64_t ImpairmentPipeline::TotalProcessed() const {
+  uint64_t total = retired_.processed;
+  for (const auto& impairment : impairments_) {
+    total += impairment->stats().processed;
+  }
+  return total;
+}
+
 uint64_t ImpairmentPipeline::TotalDropped() const {
-  uint64_t total = 0;
+  uint64_t total = retired_.dropped;
   for (const auto& impairment : impairments_) {
     total += impairment->stats().dropped;
+  }
+  return total;
+}
+
+uint64_t ImpairmentPipeline::TotalCorrupted() const {
+  uint64_t total = retired_.corrupted;
+  for (const auto& impairment : impairments_) {
+    total += impairment->stats().corrupted;
+  }
+  return total;
+}
+
+uint64_t ImpairmentPipeline::TotalReordered() const {
+  uint64_t total = retired_.reordered;
+  for (const auto& impairment : impairments_) {
+    total += impairment->stats().reordered;
+  }
+  return total;
+}
+
+uint64_t ImpairmentPipeline::TotalDuplicated() const {
+  uint64_t total = retired_.duplicated;
+  for (const auto& impairment : impairments_) {
+    total += impairment->stats().duplicated;
   }
   return total;
 }

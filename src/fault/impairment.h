@@ -150,6 +150,9 @@ class ImpairmentPipeline {
   Impairment* AddFront(std::unique_ptr<Impairment> impairment);
   void AddAll(const FaultConfig& config);
   // Removes (and destroys) the impairment; returns false if not present.
+  // Its stats are folded into the retired accumulator first, so pipeline
+  // totals keep counting it (FaultInjector windows remove impairments
+  // mid-run; metric counters must stay monotone).
   bool Remove(const Impairment* impairment);
   void Clear() { impairments_.clear(); }
 
@@ -160,11 +163,17 @@ class ImpairmentPipeline {
 
   ImpairmentDecision Apply(Packet& pkt, Rng& rng);
 
-  // Packets dropped across all impairments (including link-down gates).
+  // Totals across all impairments, live and retired (link-down gates
+  // included).
+  uint64_t TotalProcessed() const;
   uint64_t TotalDropped() const;
+  uint64_t TotalCorrupted() const;
+  uint64_t TotalReordered() const;
+  uint64_t TotalDuplicated() const;
 
  private:
   std::vector<std::unique_ptr<Impairment>> impairments_;
+  ImpairmentStats retired_;  // Summed stats of removed impairments.
 };
 
 }  // namespace tas

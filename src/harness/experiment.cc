@@ -40,6 +40,7 @@ SimHost::SimHost(Simulator* sim, HostPort* port, const HostSpec& spec)
         config.trace.flow_events = true;
         config.trace.cpu_spans = true;
         config.trace.sample_flows = true;
+        config.trace.latency_stages = true;
         if (config.trace.sample_period == 0) {
           config.trace.sample_period = Us(100);
         }
@@ -129,6 +130,7 @@ std::unique_ptr<Experiment> Experiment::Star(const std::vector<HostSpec>& specs,
     exp->hosts_.push_back(
         std::make_unique<SimHost>(&exp->sim_, &exp->net_->host(i), specs[i]));
   }
+  exp->RegisterSwitchMetrics();
   return exp;
 }
 
@@ -151,7 +153,22 @@ std::unique_ptr<Experiment> Experiment::Custom(
     exp->hosts_.push_back(std::make_unique<SimHost>(&exp->sim_, &exp->net_->host(i),
                                                     specs[i % specs.size()]));
   }
+  exp->RegisterSwitchMetrics();
   return exp;
+}
+
+void Experiment::RegisterSwitchMetrics() {
+  for (auto& host : hosts_) {
+    TasService* tas = host->tas();
+    if (tas == nullptr) {
+      continue;
+    }
+    for (size_t s = 0; s < net_->num_switches(); ++s) {
+      Switch* sw = net_->switch_at(s);
+      sw->RegisterMetrics(&tas->tracer().metrics(), "switch." + sw->name());
+    }
+    return;
+  }
 }
 
 Experiment::Experiment() { previous_pool_ = PacketPool::Install(&packet_pool_); }

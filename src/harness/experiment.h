@@ -130,6 +130,11 @@ class Experiment {
       const std::vector<HostSpec>& specs);
 
  private:
+  // Switches belong to the network, not any host, so the harness exports
+  // their counters (forwarded, pending_hw, per-port queue depth) into the
+  // first TAS host's metric registry — the bundle WriteTraces dumps.
+  void RegisterSwitchMetrics();
+
   // Declared before sim_ so it is destroyed last: tearing down the simulator
   // destroys pending event closures, whose captured PacketPtrs must still
   // have a live pool to return to.

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "src/net/packet_pool.h"
+#include "src/trace/latency.h"
 
 namespace tas {
 namespace {
@@ -78,6 +79,9 @@ void Link::Send(int from_side, PacketPtr pkt) {
       } else {
         d.stats.drops_induced++;
       }
+      if (LatencyTracer* lt = LatencyTracer::Current()) {
+        lt->Abandon(pkt->lat_id);
+      }
       return;
     }
     if (pkt->corrupt_flips > 0) {
@@ -116,8 +120,12 @@ void Link::Enqueue(int from_side, PacketPtr pkt) {
   d.stats.queue_pkts.Add(static_cast<double>(occupancy));
   if (occupancy >= config_.queue_limit_pkts) {
     d.stats.drops_overflow++;
+    if (LatencyTracer* lt = LatencyTracer::Current()) {
+      lt->Abandon(pkt->lat_id);
+    }
     return;
   }
+  d.stats.queue_hw_pkts = std::max(d.stats.queue_hw_pkts, occupancy + 1);
   if (config_.ecn_threshold_pkts > 0 && occupancy >= config_.ecn_threshold_pkts &&
       pkt->ip.ecn != Ecn::kNotEct) {
     pkt->ip.ecn = Ecn::kCe;
@@ -135,6 +143,9 @@ void Link::Enqueue(int from_side, PacketPtr pkt) {
       TAS_CHECK(pkt->corrupt_flips > 0)
           << "packet failed wire round-trip: " << pkt->Describe();
       d.stats.drops_corrupt++;
+      if (LatencyTracer* lt = LatencyTracer::Current()) {
+        lt->Abandon(pkt->lat_id);
+      }
       return;
     }
     parsed->enqueued_at = pkt->enqueued_at;
@@ -142,6 +153,7 @@ void Link::Enqueue(int from_side, PacketPtr pkt) {
     // Survived the checksums despite flips (possible: a flip pair can cancel
     // in the ones'-complement sum); keep the mark so the NIC model drops it.
     parsed->corrupt_flips = pkt->corrupt_flips;
+    parsed->lat_id = pkt->lat_id;  // Sim metadata, not wire bytes.
     PacketPtr reparsed = PacketPool::Current().Acquire();
     *reparsed = std::move(*parsed);
     pkt = std::move(reparsed);
@@ -178,6 +190,7 @@ void Link::StartTransmit(int dir_index) {
   // transmitter-busy window are identical to per-frame dispatch; only the
   // delivery instant of leading frames moves, by less than burst_max_ns.
   const size_t max_burst = std::max<size_t>(1, config_.burst_pkts);
+  LatencyTracer* lt = LatencyTracer::Current();
   size_t n = 0;
   TimeNs serialize_total = 0;
   while (n < max_burst && !d.queue.empty()) {
@@ -193,6 +206,11 @@ void Link::StartTransmit(int dir_index) {
       // Stamp each frame at its own wire-start time, as before.
       d.pcap->Record(sim_->Now() + serialize_total, *pkt);
     }
+    if (lt != nullptr) {
+      // Queue wait ends at this frame's own wire-start instant (same clock
+      // the pcap uses); the remainder until delivery is kLinkWire.
+      lt->Stamp(pkt->lat_id, LatencyStage::kLinkQueue, sim_->Now() + serialize_total);
+    }
     if (n > 0) {
       d.pending_serialize.push_back(sim_->Now() + serialize_total);
     }
@@ -203,9 +221,15 @@ void Link::StartTransmit(int dir_index) {
   d.busy_until = sim_->Now() + serialize_total;
   sim_->After(serialize_total + config_.propagation_delay, [this, dir_index, n] {
     Direction& dd = dir_[dir_index];
+    LatencyTracer* tracer = LatencyTracer::Current();
     for (size_t i = 0; i < n && !dd.wire.empty(); ++i) {
       PacketPtr pkt = std::move(dd.wire.front());
       dd.wire.pop_front();
+      if (tracer != nullptr) {
+        // Serialize + propagation (plus any burst-mate deferral) charged to
+        // the wire stage; accumulates across hops on multi-link paths.
+        tracer->Stamp(pkt->lat_id, LatencyStage::kLinkWire, sim_->Now());
+      }
       if (dd.dst != nullptr) {
         dd.dst->Receive(std::move(pkt));
       }
@@ -235,6 +259,17 @@ void Link::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) 
     registry->AddCounter(p + "ecn_marks", &s.ecn_marks);
     registry->AddGauge(p + "queue_pkts",
                        [this, side] { return static_cast<double>(QueueLen(side)); });
+    registry->AddGauge(p + "queue_hw_pkts", [this, side] {
+      return static_cast<double>(dir_[side].stats.queue_hw_pkts);
+    });
+    // Egress fault pipeline totals (survive mid-run impairment removal via
+    // the pipeline's retired accumulator).
+    ImpairmentPipeline* pl = &dir_[side].pipeline;
+    registry->AddCounterFn(p + "fault.processed", [pl] { return pl->TotalProcessed(); });
+    registry->AddCounterFn(p + "fault.dropped", [pl] { return pl->TotalDropped(); });
+    registry->AddCounterFn(p + "fault.corrupted", [pl] { return pl->TotalCorrupted(); });
+    registry->AddCounterFn(p + "fault.reordered", [pl] { return pl->TotalReordered(); });
+    registry->AddCounterFn(p + "fault.duplicated", [pl] { return pl->TotalDuplicated(); });
   }
 }
 

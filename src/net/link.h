@@ -75,6 +75,7 @@ struct LinkStats {
   uint64_t reordered = 0;      // Frames held back to overtake.
   uint64_t ecn_marks = 0;
   RunningStats queue_pkts;  // Queue occupancy sampled at each enqueue.
+  size_t queue_hw_pkts = 0;  // High-water occupancy (including the admit).
 };
 
 class Link {

@@ -115,6 +115,12 @@ struct Packet {
   // the internet checksum rejects the frame; otherwise the receiving NIC
   // models its hardware checksum check by discarding marked frames.
   uint32_t corrupt_flips = 0;
+  // Latency-anatomy record id (src/trace/latency): keys the side ring where
+  // this packet's stage stamps accumulate. 0 = untracked (tracing off, or a
+  // control packet nobody opened a record for). Pool recycling resets it;
+  // clones start untracked so duplicates cannot corrupt the original's
+  // record.
+  uint64_t lat_id = 0;
 
   size_t payload_size() const { return payload.size(); }
   // Total bytes on the wire, including Ethernet framing.

@@ -66,6 +66,10 @@ PacketPtr PacketPool::Clone(const Packet& src) {
   // Copy-assignment reuses the retained payload capacity (vector::operator=
   // copies into the existing buffer when it fits).
   *dst = src;
+  // A clone is a new journey: it must not stamp into the original's latency
+  // record (a duplicate finishing first would retire it out from under the
+  // real packet).
+  dst->lat_id = 0;
   return dst;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/latency.h"
+
 namespace tas {
 
 // Adapter: receives packets from one link and hands them to the switch.
@@ -42,6 +44,9 @@ void Switch::HandlePacket(PacketPtr pkt) {
   auto it = routes_.find(pkt->ip.dst);
   if (it == routes_.end() || it->second.empty()) {
     ++no_route_drops_;
+    if (LatencyTracer* lt = LatencyTracer::Current()) {
+      lt->Abandon(pkt->lat_id);
+    }
     return;
   }
   const std::vector<int>& candidates = it->second;
@@ -57,6 +62,7 @@ void Switch::HandlePacket(PacketPtr pkt) {
   // Arrivals are FIFO in time, so due times are monotone; the pending queue
   // owns the packets (sim teardown recycles them via the pool).
   pending_.push_back(Pending{sim_->Now() + forwarding_latency_, port, std::move(pkt)});
+  pending_hw_ = std::max(pending_hw_, pending_.size());
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
     sim_->After(forwarding_latency_, [this] { Flush(); });
@@ -68,6 +74,7 @@ void Switch::Flush() {
   // Burst-admit per egress link so a forwarded wave leaves each port as one
   // serialized train (one delivery event) instead of frame-by-frame.
   touched_ports_.clear();
+  LatencyTracer* lt = LatencyTracer::Current();
   while (!pending_.empty() && pending_.front().due <= sim_->Now()) {
     Pending p = std::move(pending_.front());
     pending_.pop_front();
@@ -76,6 +83,11 @@ void Switch::Flush() {
         touched_ports_.end()) {
       touched_ports_.push_back(p.port);
       port->end().BeginAdmit();
+    }
+    if (lt != nullptr) {
+      // Forwarding-pipeline dwell ends here; the egress link charges its own
+      // queue/wire stages next.
+      lt->Stamp(p.pkt->lat_id, LatencyStage::kSwitchQueue, sim_->Now());
     }
     port->Send(std::move(p.pkt));
   }
@@ -91,6 +103,8 @@ void Switch::Flush() {
 void Switch::RegisterMetrics(MetricRegistry* registry, const std::string& prefix) {
   registry->AddCounter(prefix + ".forwarded", &forwarded_);
   registry->AddCounter(prefix + ".no_route_drops", &no_route_drops_);
+  registry->AddGauge(prefix + ".pending_hw",
+                     [this] { return static_cast<double>(pending_hw_); });
   for (size_t p = 0; p < ports_.size(); ++p) {
     const LinkEnd end = ports_[p]->end();
     registry->AddGauge(prefix + ".port." + std::to_string(p) + ".queue_pkts", [end] {

@@ -66,6 +66,7 @@ class Switch {
     PacketPtr pkt;
   };
   std::deque<Pending> pending_;
+  size_t pending_hw_ = 0;  // High-water of the forwarding-pipeline queue.
   bool flush_scheduled_ = false;
   std::vector<int> touched_ports_;  // Ports burst-admitted by the running Flush.
   uint64_t forwarded_ = 0;

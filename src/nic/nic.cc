@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/net/packet_pool.h"
+#include "src/trace/latency.h"
 
 namespace tas {
 
@@ -39,12 +40,18 @@ void SimNic::Receive(PacketPtr pkt) {
   // validate_wire_format, flips and rejects the actual wire bits instead).
   if (pkt->corrupt_flips > 0) {
     ++rx_checksum_drops_;
+    if (LatencyTracer* lt = LatencyTracer::Current()) {
+      lt->Abandon(pkt->lat_id);
+    }
     return;
   }
   if (!rx_pipeline_.empty()) {
     const ImpairmentDecision decision = rx_pipeline_.Apply(*pkt, rng_);
     if (decision.drop) {
       ++rx_fault_drops_;
+      if (LatencyTracer* lt = LatencyTracer::Current()) {
+        lt->Abandon(pkt->lat_id);
+      }
       return;
     }
     if (decision.duplicate) {
@@ -64,10 +71,14 @@ void SimNic::DeliverToRing(PacketPtr pkt) {
   Ring& ring = *rings_[static_cast<size_t>(SelectQueue(*pkt))];
   if (ring.pkts.size() >= config_.ring_entries) {
     ++rx_drops_;
+    if (LatencyTracer* lt = LatencyTracer::Current()) {
+      lt->Abandon(pkt->lat_id);
+    }
     return;
   }
   const bool was_empty = ring.pkts.empty();
   ring.pkts.push_back(std::move(pkt));
+  ring.depth_hw = std::max(ring.depth_hw, ring.pkts.size());
   if (was_empty && ring.notify) {
     ring.notify();
   }
@@ -85,15 +96,24 @@ PacketPtr SimNic::PopRx(int queue) {
   }
   PacketPtr pkt = std::move(ring.pkts.front());
   ring.pkts.pop_front();
+  if (LatencyTracer* lt = LatencyTracer::Current()) {
+    lt->Stamp(pkt->lat_id, LatencyStage::kNicRxRing, sim_->Now());
+  }
   return pkt;
 }
 
 size_t SimNic::PopRxBurst(int queue, PacketPtr* out, size_t max) {
   Ring& ring = *rings_[static_cast<size_t>(queue)];
   const size_t n = std::min(max, ring.pkts.size());
+  LatencyTracer* lt = LatencyTracer::Current();
   for (size_t i = 0; i < n; ++i) {
     out[i] = std::move(ring.pkts.front());
     ring.pkts.pop_front();
+    if (lt != nullptr) {
+      // Each burst member's ring wait ends at this gather instant; later
+      // stamps charge the batch processing separately (kFpRx).
+      lt->Stamp(out[i]->lat_id, LatencyStage::kNicRxRing, sim_->Now());
+    }
   }
   return n;
 }
@@ -134,7 +154,23 @@ void SimNic::RegisterMetrics(MetricRegistry* registry, const std::string& prefix
   for (int q = 0; q < num_queues(); ++q) {
     registry->AddGauge(prefix + ".ring." + std::to_string(q) + ".depth",
                        [this, q] { return static_cast<double>(RxQueueLen(q)); });
+    registry->AddGauge(prefix + ".ring." + std::to_string(q) + ".depth_hw", [this, q] {
+      return static_cast<double>(rings_[static_cast<size_t>(q)]->depth_hw);
+    });
   }
+  // Device-level RX fault pipeline totals. Function-backed (not pointer
+  // views): FaultInjector adds and removes impairments mid-run, and removal
+  // folds the retiree's stats into the pipeline's retired accumulator.
+  registry->AddCounterFn(prefix + ".rx_fault.processed",
+                         [this] { return rx_pipeline_.TotalProcessed(); });
+  registry->AddCounterFn(prefix + ".rx_fault.dropped",
+                         [this] { return rx_pipeline_.TotalDropped(); });
+  registry->AddCounterFn(prefix + ".rx_fault.corrupted",
+                         [this] { return rx_pipeline_.TotalCorrupted(); });
+  registry->AddCounterFn(prefix + ".rx_fault.reordered",
+                         [this] { return rx_pipeline_.TotalReordered(); });
+  registry->AddCounterFn(prefix + ".rx_fault.duplicated",
+                         [this] { return rx_pipeline_.TotalDuplicated(); });
 }
 
 }  // namespace tas

@@ -93,6 +93,7 @@ class SimNic : public NetDevice {
   struct Ring {
     std::deque<PacketPtr> pkts;
     std::function<void()> notify;
+    size_t depth_hw = 0;  // High-water occupancy (latency-anatomy gauge).
   };
 
   int SelectQueue(const Packet& pkt) const;

@@ -10,6 +10,7 @@ bool AppContext::PushEvent(const AppEvent& event) {
     ++dropped_events_;
     return false;
   }
+  rx_hw_ = rx_.SizeApprox() > rx_hw_ ? rx_.SizeApprox() : rx_hw_;
   if (defer_depth_ > 0) {
     // Every push after the first in a defer window would have rung its own
     // doorbell in the synchronous-drain world (the app empties the queue on
@@ -42,6 +43,7 @@ bool AppContext::PushCommand(const TxCommand& command) {
   if (!tx_.Push(command)) {
     return false;
   }
+  tx_hw_ = tx_.SizeApprox() > tx_hw_ ? tx_.SizeApprox() : tx_hw_;
   if (was_empty && fastpath_notify_) {
     fastpath_notify_();
   }

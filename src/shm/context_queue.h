@@ -88,12 +88,17 @@ class AppContext {
   // Doorbells suppressed by coalescing (notify requests beyond the first in
   // a defer window).
   uint64_t doorbells_coalesced() const { return doorbells_coalesced_; }
+  // High-water occupancy of each queue, observed at push (latency anatomy).
+  size_t rx_queue_hw() const { return rx_hw_; }
+  size_t tx_queue_hw() const { return tx_hw_; }
 
  private:
   SpscQueue<AppEvent> rx_;
   SpscQueue<TxCommand> tx_;
   std::function<void()> app_notify_;
   std::function<void()> fastpath_notify_;
+  size_t rx_hw_ = 0;
+  size_t tx_hw_ = 0;
   uint64_t dropped_events_ = 0;
   int defer_depth_ = 0;
   bool pending_notify_ = false;

@@ -4,6 +4,7 @@
 
 #include "src/tas/slow_path.h"
 #include "src/tcp/seq.h"
+#include "src/trace/latency.h"
 
 namespace tas {
 namespace {
@@ -16,12 +17,14 @@ FastPathCore::FastPathCore(TasService* service, Core* cpu, int index)
     : service_(service), cpu_(cpu), index_(index) {}
 
 void FastPathCore::EnqueueFlowTx(FlowId flow_id) {
-  work_.push_back(WorkItem{WorkItem::Type::kFlowTx, flow_id});
+  work_.push_back(WorkItem{WorkItem::Type::kFlowTx, flow_id, service_->sim()->Now()});
+  work_hw_ = std::max(work_hw_, work_.size());
   MaybeRun();
 }
 
 void FastPathCore::EnqueueWindowUpdate(FlowId flow_id) {
-  work_.push_back(WorkItem{WorkItem::Type::kWindowUpdate, flow_id});
+  work_.push_back(WorkItem{WorkItem::Type::kWindowUpdate, flow_id, service_->sim()->Now()});
+  work_hw_ = std::max(work_hw_, work_.size());
   MaybeRun();
 }
 
@@ -64,6 +67,7 @@ void FastPathCore::RunOne() {
   batch_rx_.resize(budget);
   const size_t nrx = service_->nic()->PopRxBurst(index_, batch_rx_.data(), budget);
   batch_rx_.resize(nrx);
+  batch_dispatch_ = sim->Now();
   TimeNs done = 0;
   for (const PacketPtr& pkt : batch_rx_) {
     const uint64_t tcp_cycles =
@@ -138,9 +142,9 @@ void FastPathCore::CloseBatch() {
   batch_rx_.clear();
   for (const WorkItem& item : batch_work_) {
     if (item.type == WorkItem::Type::kFlowTx) {
-      ProcessFlowTx(item.flow);
+      ProcessFlowTx(item.flow, item.enqueued_at);
     } else {
-      SendWindowUpdate(item.flow);
+      SendWindowUpdate(item.flow, item.enqueued_at);
     }
   }
   batch_work_.clear();
@@ -166,6 +170,13 @@ void FastPathCore::ProcessPacket(PacketPtr pkt) {
   if (flow == nullptr || (pkt->tcp.flags & kExceptionFlags) != 0 ||
       !flow->FastPathEligible()) {
     service_->mutable_stats().exceptions++;
+    if (LatencyTracer* lt = LatencyTracer::Current()) {
+      // The exception path leaves the measured pipeline (and the packet may
+      // come back via InjectPacket); close the record and untrack the packet
+      // so later stamps don't count as stale.
+      lt->Abandon(pkt->lat_id);
+      pkt->lat_id = 0;
+    }
     service_->slow_path()->EnqueueException(std::move(pkt));
     return;
   }
@@ -175,6 +186,11 @@ void FastPathCore::ProcessPacket(PacketPtr pkt) {
     service_->mutable_stats().cross_core_packets++;
   }
   FastPathRx(id, *flow, *pkt);
+  if (LatencyTracer* lt = LatencyTracer::Current()) {
+    // End of the journey: RX processing (and payload delivery to the app
+    // context) completes at the batch horizon.
+    lt->Finish(pkt->lat_id, LatencyStage::kFpRx, service_->sim()->Now());
+  }
 }
 
 void FastPathCore::FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt) {
@@ -337,7 +353,7 @@ void FastPathCore::HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt) {
   }
 }
 
-void FastPathCore::SendAck(FlowId flow_id, Flow& flow, bool ecn_echo) {
+void FastPathCore::SendAck(FlowId flow_id, Flow& flow, bool ecn_echo, TimeNs enqueued_at) {
   FlowState& fs = flow.fs;
   uint8_t flags = TcpFlags::kAck;
   if (ecn_echo) {
@@ -351,10 +367,30 @@ void FastPathCore::SendAck(FlowId flow_id, Flow& flow, bool ecn_echo) {
   ack->tcp.ts_val = NowUs(service_->sim());
   ack->tcp.ts_ecr = flow.ts_echo;
   ack->enqueued_at = service_->sim()->Now();
+  OpenTxLatencyRecord(ack.get(), enqueued_at);
   service_->mutable_stats().fastpath_acks_sent++;
   service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kAckTx,
                                 fs.ack, ecn_echo ? 1 : 0);
   EmitPacket(std::move(ack));
+}
+
+void FastPathCore::OpenTxLatencyRecord(Packet* pkt, TimeNs enqueued_at) {
+  LatencyTracer* lt = LatencyTracer::Current();
+  if (lt == nullptr) {
+    return;
+  }
+  const TimeNs now = service_->sim()->Now();
+  if (enqueued_at == kNoEnqueue) {
+    // RX-triggered (ACKs): born at the batch horizon, no queue wait.
+    pkt->lat_id = lt->Begin(now);
+    return;
+  }
+  // Work-queue origin: wait in work_ until the gather instant is ctx-queue
+  // time; gather -> batch horizon is fast-path TX service.
+  const uint64_t id = lt->Begin(enqueued_at);
+  lt->Stamp(id, LatencyStage::kCtxQueue, std::max(enqueued_at, batch_dispatch_));
+  lt->Stamp(id, LatencyStage::kFpTx, now);
+  pkt->lat_id = id;
 }
 
 void FastPathCore::EmitPacket(PacketPtr pkt) {
@@ -383,7 +419,7 @@ PacketPtr FastPathCore::BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t 
   return pkt;
 }
 
-void FastPathCore::ProcessFlowTx(FlowId flow_id) {
+void FastPathCore::ProcessFlowTx(FlowId flow_id, TimeNs enqueued_at) {
   Flow* flow = service_->flow_by_id(flow_id);
   if (flow == nullptr) {
     return;
@@ -428,6 +464,7 @@ void FastPathCore::ProcessFlowTx(FlowId flow_id) {
 
   const uint32_t wire_seq = fs.seq;
   auto pkt = BuildDataPacket(*flow, wire_seq, len);
+  OpenTxLatencyRecord(pkt.get(), enqueued_at);
   service_->mutable_stats().fastpath_tx_packets++;
   EmitPacket(std::move(pkt));
   fs.seq += len;
@@ -441,12 +478,12 @@ void FastPathCore::ProcessFlowTx(FlowId flow_id) {
   }
 }
 
-void FastPathCore::SendWindowUpdate(FlowId flow_id) {
+void FastPathCore::SendWindowUpdate(FlowId flow_id, TimeNs enqueued_at) {
   Flow* flow = service_->flow_by_id(flow_id);
   if (flow == nullptr || !flow->FastPathEligible()) {
     return;
   }
-  SendAck(flow_id, *flow, false);
+  SendAck(flow_id, *flow, false, enqueued_at);
 }
 
 }  // namespace tas

@@ -57,19 +57,26 @@ class FastPathCore {
   const std::array<uint64_t, kOccBuckets>& rx_occupancy() const { return rx_occupancy_; }
   uint64_t batches() const { return batches_; }
   uint64_t batch_items() const { return batch_items_; }
+  // High-water occupancy of the TX/command work queue (latency anatomy).
+  size_t work_queue_hw() const { return work_hw_; }
 
  private:
   struct WorkItem {
     enum class Type { kFlowTx, kWindowUpdate } type;
     FlowId flow = kInvalidFlow;
+    TimeNs enqueued_at = 0;  // When the item entered work_ (ctx-queue stage).
   };
 
   bool HasWork() const;
   void RunOne();
   void CloseBatch();
   void ProcessPacket(PacketPtr pkt);
-  void ProcessFlowTx(FlowId flow_id);
-  void SendWindowUpdate(FlowId flow_id);
+  // enqueued_at: when the originating work item entered work_ (charges the
+  // ctx-queue latency stage); kNoEnqueue for packets not born from the work
+  // queue (RX-triggered ACKs).
+  static constexpr TimeNs kNoEnqueue = -1;
+  void ProcessFlowTx(FlowId flow_id, TimeNs enqueued_at);
+  void SendWindowUpdate(FlowId flow_id, TimeNs enqueued_at);
   // Routes outgoing packets: collected for the batch-close TransmitBurst
   // while a batch retires, transmitted directly otherwise.
   void EmitPacket(PacketPtr pkt);
@@ -78,8 +85,11 @@ class FastPathCore {
   void FastPathRx(FlowId flow_id, Flow& flow, const Packet& pkt);
   void HandleAck(FlowId flow_id, Flow& flow, const Packet& pkt);
   uint32_t HandlePayload(FlowId flow_id, Flow& flow, const Packet& pkt);
-  void SendAck(FlowId flow_id, Flow& flow, bool ecn_echo);
+  void SendAck(FlowId flow_id, Flow& flow, bool ecn_echo, TimeNs enqueued_at = kNoEnqueue);
   PacketPtr BuildDataPacket(Flow& flow, uint32_t wire_seq, uint32_t len);
+  // Opens a latency record for an outgoing packet and charges the ctx-queue
+  // and fp-tx stages (no-op when tracing is off).
+  void OpenTxLatencyRecord(Packet* pkt, TimeNs enqueued_at);
 
   TasService* service_;
   Core* cpu_;
@@ -96,9 +106,13 @@ class FastPathCore {
   std::vector<WorkItem> batch_work_;
   std::vector<PacketPtr> batch_tx_;
   bool in_batch_ = false;
+  // Gather instant of the in-flight batch: the boundary between an item's
+  // ctx-queue wait and its fast-path service time.
+  TimeNs batch_dispatch_ = 0;
   std::array<uint64_t, kOccBuckets> rx_occupancy_{};
   uint64_t batches_ = 0;
   uint64_t batch_items_ = 0;
+  size_t work_hw_ = 0;
 };
 
 }  // namespace tas

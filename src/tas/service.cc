@@ -27,6 +27,13 @@ std::unique_ptr<RateCc> MakeRateCc(const TasConfig& config) {
 TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     : sim_(sim), config_(config), rng_(config.rng_seed) {
   tracer_ = std::make_unique<Tracer>(sim, config.trace);
+  if (config.trace.latency_stages && LatencyTracer::Current() == nullptr) {
+    // First latency-enabled TAS host wins: packet journeys cross hosts, so
+    // every device in the experiment stamps into ONE tracer. Later hosts keep
+    // their (empty) per-host tracer; the installer's report holds the data.
+    LatencyTracer::Install(&tracer_->latency());
+    latency_installed_ = true;
+  }
   NicConfig nic_config;
   nic_config.num_queues = config.max_fastpath_cores;
   nic_ = std::make_unique<SimNic>(sim, port, nic_config);
@@ -38,6 +45,12 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
   }
   slow_path_ = std::make_unique<SlowPath>(this, slowpath_core_.get());
   RegisterTraceInstrumentation();
+  // The host's access link exports per-direction queue depth/high-water and
+  // egress-fault counters into this host's bundle (switches register via the
+  // harness; they belong to the network, not any one host).
+  if (port->access_link != nullptr) {
+    port->access_link->RegisterMetrics(&tracer_->metrics(), "link");
+  }
   slow_path_->Start();
 
   active_cores_ = config.dynamic_cores ? 1 : config.max_fastpath_cores;
@@ -113,6 +126,33 @@ void TasService::RegisterTraceInstrumentation() {
     for (AppContext* ctx : contexts_) sum += ctx->dropped_events();
     return sum;
   });
+  // Queue-occupancy high-water marks (latency anatomy: the depth behind each
+  // queue-wait stage). Max across contexts / cores — the worst queue is the
+  // one that explains the tail.
+  m.AddGauge("tas.contexts.rx_queue_hw", [this] {
+    size_t hw = 0;
+    for (AppContext* ctx : contexts_) hw = std::max(hw, ctx->rx_queue_hw());
+    return static_cast<double>(hw);
+  });
+  m.AddGauge("tas.contexts.tx_queue_hw", [this] {
+    size_t hw = 0;
+    for (AppContext* ctx : contexts_) hw = std::max(hw, ctx->tx_queue_hw());
+    return static_cast<double>(hw);
+  });
+  m.AddGauge("tas.fastpath.work_queue_hw", [this] {
+    size_t hw = 0;
+    for (auto& fp : fastpaths_) hw = std::max(hw, fp->work_queue_hw());
+    return static_cast<double>(hw);
+  });
+  if (config_.trace.latency_stages) {
+    const LatencyTracer* lat = &tracer_->latency();
+    m.AddCounterFn("latency.completed", [lat] { return lat->completed(); });
+    m.AddCounterFn("latency.abandoned", [lat] { return lat->abandoned(); });
+    m.AddCounterFn("latency.overwritten", [lat] { return lat->overwritten(); });
+    m.AddCounterFn("latency.stale", [lat] { return lat->stale(); });
+    m.AddCounterFn("latency.partition_mismatches",
+                   [lat] { return lat->partition_mismatches(); });
+  }
   nic_->RegisterMetrics(&m, "nic");
   PacketPool::Current().RegisterMetrics(&m, "pktpool");
 
@@ -167,6 +207,32 @@ void TasService::RegisterTraceInstrumentation() {
       win->busy.back() = sp_busy;
       win->last = now;
     });
+    if (config_.trace.latency_stages) {
+      // Per-stage percentile series -> Perfetto counter tracks. Cumulative
+      // percentiles (the histograms are never reset), sampled on the sweep.
+      sampler.AddSweepHook([this, max_pts](TimeNs now) {
+        TimeSeriesSampler& s = tracer_->sampler();
+        const LatencyTracer& lat = tracer_->latency();
+        for (int i = 0; i < kNumLatencyStages; ++i) {
+          const auto stage = static_cast<LatencyStage>(i);
+          const LogHistogram& h = lat.stage_hist(stage);
+          if (h.count() == 0) {
+            continue;
+          }
+          const std::string p = std::string("latency.") + LatencyStageName(stage) + ".";
+          s.Series(p + "p50_us", max_pts)
+              .Append(now, static_cast<double>(h.ApproxPercentile(50)) / 1000.0);
+          s.Series(p + "p99_us", max_pts)
+              .Append(now, static_cast<double>(h.ApproxPercentile(99)) / 1000.0);
+        }
+        if (lat.e2e_hist().count() > 0) {
+          s.Series("latency.e2e.p50_us", max_pts)
+              .Append(now, static_cast<double>(lat.e2e_hist().ApproxPercentile(50)) / 1000.0);
+          s.Series("latency.e2e.p99_us", max_pts)
+              .Append(now, static_cast<double>(lat.e2e_hist().ApproxPercentile(99)) / 1000.0);
+        }
+      });
+    }
     if (config_.trace.sample_flows) {
       sampler.AddSweepHook([this, max_pts](TimeNs now) {
         TimeSeriesSampler& s = tracer_->sampler();
@@ -198,7 +264,11 @@ void TasService::RegisterTraceInstrumentation() {
   }
 }
 
-TasService::~TasService() = default;
+TasService::~TasService() {
+  if (latency_installed_ && LatencyTracer::Current() == &tracer_->latency()) {
+    LatencyTracer::Install(nullptr);
+  }
+}
 
 IpAddr TasService::local_ip() const { return nic_->ip(); }
 

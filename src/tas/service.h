@@ -195,6 +195,9 @@ class TasService {
   uint16_t next_ephemeral_ = 20000;
   std::vector<uint32_t> port_use_count_ = std::vector<uint32_t>(65536, 0);
   int active_cores_ = 1;
+  // True if this service installed its tracer's LatencyTracer as the global
+  // stamp sink (first latency-enabled host); the dtor uninstalls it.
+  bool latency_installed_ = false;
   TimeSeries* core_series_ = nullptr;  // Owned by tracer_->sampler().
   TasStats stats_;
   Rng rng_;

@@ -25,7 +25,8 @@ Tracer::Tracer(Simulator* sim, const TraceConfig& config)
     : config_(config),
       flow_events_(config.flow_event_capacity),
       sampler_(sim),
-      spans_(config.span_capacity) {
+      spans_(config.span_capacity),
+      latency_(config.latency_ring_capacity) {
   flow_events_.SetGlobal(config.flow_events);
   spans_.SetEnabled(config.cpu_spans);
 }
@@ -128,6 +129,13 @@ bool Tracer::WriteAll(const std::string& prefix) const {
       return false;
     }
     (this->*out.write)(os);
+  }
+  if (config_.latency_stages) {
+    std::ofstream os(prefix + ".latency.json");
+    if (!os) {
+      return false;
+    }
+    os << latency_.Report().ToJson() << "\n";
   }
   return true;
 }

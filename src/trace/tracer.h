@@ -18,6 +18,7 @@
 
 #include "src/sim/simulator.h"
 #include "src/trace/flow_tracer.h"
+#include "src/trace/latency.h"
 #include "src/trace/metric_registry.h"
 #include "src/trace/timeseries.h"
 
@@ -40,6 +41,12 @@ struct TraceConfig {
   // occupancy into one series per live flow (needs sample_period > 0).
   bool sample_flows = false;
   size_t series_max_points = 4096;
+  // Per-packet latency anatomy (src/trace/latency): stage stamps in a side
+  // ring, folded into per-stage histograms. The first TasService constructed
+  // with this on installs its host's LatencyTracer as the global stamp sink
+  // (packet journeys cross hosts, so one tracer observes the whole path).
+  bool latency_stages = false;
+  size_t latency_ring_capacity = 1u << 12;
 };
 
 // One contiguous busy interval on a track (track = simulated core id, or a
@@ -101,6 +108,8 @@ class Tracer {
   const TimeSeriesSampler& sampler() const { return sampler_; }
   SpanRecorder& spans() { return spans_; }
   const SpanRecorder& spans() const { return spans_; }
+  LatencyTracer& latency() { return latency_; }
+  const LatencyTracer& latency() const { return latency_; }
 
   // --- Exporters ------------------------------------------------------------
   void WriteMetricsJsonl(std::ostream& os) const { metrics_.WriteJsonl(os); }
@@ -111,8 +120,9 @@ class Tracer {
   void WritePerfettoJson(std::ostream& os) const;
 
   // Writes <prefix>.metrics.jsonl, <prefix>.flow_events.jsonl,
-  // <prefix>.timeseries.jsonl and <prefix>.perfetto.json. Returns false if
-  // any file could not be opened.
+  // <prefix>.timeseries.jsonl and <prefix>.perfetto.json — plus
+  // <prefix>.latency.json when latency_stages is on. Returns false if any
+  // file could not be opened.
   bool WriteAll(const std::string& prefix) const;
 
  private:
@@ -121,6 +131,7 @@ class Tracer {
   FlowTracer flow_events_;
   TimeSeriesSampler sampler_;
   SpanRecorder spans_;
+  LatencyTracer latency_;
 };
 
 // Registers the simulator's dispatch metrics (events executed, pending

@@ -134,12 +134,22 @@ void LogHistogram::Add(uint64_t value) {
   ++count_;
 }
 
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+}
+
 uint64_t LogHistogram::ApproxPercentile(double p) const {
   if (count_ == 0) {
     return 0;
   }
-  const uint64_t target = static_cast<uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  // Target at least one sample: p=0 must land on the first NON-EMPTY bucket
+  // (a target of 0 would stop at bucket 0 even when it holds nothing and
+  // report 0 for a histogram whose smallest sample is large).
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
   uint64_t cum = 0;
   for (int i = 0; i < kBuckets; ++i) {
     cum += buckets_[i];

@@ -72,8 +72,13 @@ class LogHistogram {
   LogHistogram();
 
   void Add(uint64_t value);
+  // Folds another histogram in (bucket-wise sum) — combines per-core or
+  // per-stage histograms into one distribution.
+  void Merge(const LogHistogram& other);
   uint64_t count() const { return count_; }
-  // Upper bound of the smallest bucket whose cumulative count covers p%.
+  // Upper bound of the smallest non-empty bucket whose cumulative count
+  // covers p% (p=0 returns the first non-empty bucket's bound; an empty
+  // histogram returns 0 for every p).
   uint64_t ApproxPercentile(double p) const;
   std::string ToString() const;
 

@@ -421,12 +421,34 @@ TEST(LogHistogramTest, ApproxPercentileBoundaries) {
   LogHistogram hist;
   hist.Add(0);     // Bucket 0 (upper bound 0).
   hist.Add(1000);  // Bucket [512, 1023].
-  // p=0 needs zero cumulative count: satisfied by the very first bucket.
+  // p=0 clamps to a target rank of one sample: the first non-empty bucket.
   EXPECT_EQ(hist.ApproxPercentile(0), 0u);
   // p=100 must walk to the bucket holding the largest sample.
   EXPECT_EQ(hist.ApproxPercentile(100), 1023u);
   // Zero values live in bucket 0 and report an upper bound of 0.
   EXPECT_EQ(hist.ApproxPercentile(50), 0u);
+}
+
+TEST(LogHistogramTest, MergeMatchesSinglePass) {
+  // Merging split histograms must equal adding every sample to one: same
+  // count, same percentile answers at every bucketed rank.
+  LogHistogram combined, head, tail;
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    combined.Add(i * 7);
+    (i <= 600 ? head : tail).Add(i * 7);
+  }
+  head.Merge(tail);
+  EXPECT_EQ(head.count(), combined.count());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(head.ApproxPercentile(p), combined.ApproxPercentile(p)) << "p=" << p;
+  }
+  // Merging an empty histogram is a no-op in both directions.
+  LogHistogram empty;
+  head.Merge(empty);
+  EXPECT_EQ(head.count(), combined.count());
+  empty.Merge(combined);
+  EXPECT_EQ(empty.count(), combined.count());
+  EXPECT_EQ(empty.ApproxPercentile(50), combined.ApproxPercentile(50));
 }
 
 TEST(RateCounterTest, Rates) {
