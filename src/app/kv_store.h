@@ -19,6 +19,7 @@
 #include "src/cpu/core.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
+#include "src/util/zipf.h"
 #include "src/util/stats.h"
 
 namespace tas {
@@ -121,7 +122,7 @@ class KvClient : public AppHandler {
   Stack* stack_;
   KvClientConfig config_;
   Rng rng_;
-  ZipfDist zipf_;
+  ZipfGenerator zipf_;
   std::unordered_map<ConnId, ConnState> conns_;
   std::vector<ConnId> ready_conns_;  // Idle connections (open-loop mode).
   uint64_t completed_ = 0;

@@ -14,6 +14,7 @@
 #ifndef SRC_BASELINE_STACK_IFACE_H_
 #define SRC_BASELINE_STACK_IFACE_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "src/net/packet.h"
@@ -57,6 +58,29 @@ class Stack {
   virtual size_t RecvAvailable(ConnId conn) const = 0;
   virtual size_t SendSpace(ConnId conn) const = 0;
   virtual void Close(ConnId conn) = 0;
+
+  // Moves up to `len` bytes of received payload on `from` into the send
+  // buffer of `to` (splice(2)-style forwarding); returns bytes moved. The
+  // default bounces through user space and pays the full Recv+Send copy
+  // charges, so every stack supports it; stacks with shared-memory payload
+  // buffers (TAS) override it with an in-stack path that skips the copies.
+  virtual size_t Splice(ConnId from, ConnId to, size_t len) {
+    uint8_t buf[4096];
+    size_t moved = 0;
+    while (moved < len) {
+      const size_t want =
+          std::min(std::min(len - moved, sizeof(buf)), SendSpace(to));
+      if (want == 0) {
+        break;
+      }
+      const size_t got = Recv(from, buf, want);
+      if (got == 0) {
+        break;
+      }
+      moved += Send(to, buf, got);
+    }
+    return moved;
+  }
 
   // Charges application compute on the core owning `conn`, applying the
   // stack's app-interference factor (cache/TLB pollution from sharing cores

@@ -66,6 +66,10 @@ struct StackCostModel {
   // Per-byte copy cost (both directions), cycles per byte. Models memory
   // copying dominating large-RPC cost (paper Fig 6 discussion).
   double copy_cycles_per_byte = 0;
+  // Per-byte cost of an in-stack splice (Stack::Splice): payload moves
+  // between two connections' buffers without crossing the app boundary, so
+  // only descriptor/ring bookkeeping is charged — no user-space copy.
+  double splice_cycles_per_byte = 0.05;
   // Connection setup/teardown handling (slow path / kernel).
   uint64_t connection_setup = 0;
   uint64_t connection_teardown = 0;

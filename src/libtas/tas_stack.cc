@@ -53,13 +53,13 @@ ConnId TasStack::Connect(IpAddr dst_ip, uint16_t dst_port) {
   // The flow id doubles as the connection id; the service tags fs.opaque
   // with it so every event identifies the connection directly.
   const FlowId flow = service_->Connect(dst_ip, dst_port, 0, contexts_[ctx_index].id);
-  conns_[flow] = Conn{flow, ctx_index, 0, false};
+  conns_[flow] = Conn{flow, ctx_index, 0, false, false};
   return flow;
 }
 
 size_t TasStack::Send(ConnId conn, const uint8_t* data, size_t len) {
   Conn* c = GetConn(conn);
-  if (c == nullptr || c->closed) {
+  if (c == nullptr || c->tx_closed) {
     return 0;
   }
   Flow* flow = service_->GetFlow(c->flow);
@@ -127,12 +127,61 @@ size_t TasStack::SendSpace(ConnId conn) const {
   return flow == nullptr ? 0 : flow->fs.tx_size - flow->TxQueued();
 }
 
+size_t TasStack::Splice(ConnId from, ConnId to, size_t len) {
+  Conn* src = GetConn(from);
+  Conn* dst = GetConn(to);
+  if (src == nullptr || dst == nullptr || dst->tx_closed) {
+    return 0;
+  }
+  Flow* fsrc = service_->GetFlow(src->flow);
+  Flow* fdst = service_->GetFlow(dst->flow);
+  if (fsrc == nullptr || fdst == nullptr || fdst->cstate == ConnState::kFreed) {
+    return 0;
+  }
+  uint32_t n = static_cast<uint32_t>(
+      std::min<size_t>(len, std::min<uint32_t>(fsrc->RxUsed(),
+                                               fdst->fs.tx_size - fdst->TxQueued())));
+  if (n == 0) {
+    return 0;
+  }
+  // Both payload rings live in shared memory, so the stack moves descriptors
+  // plus one in-stack copy — no per-byte crossing of the app boundary. The
+  // simulation still memcpys through a bounce buffer; the *modeled* cost is
+  // the splice charge below instead of two copy_cycles_per_byte passes.
+  if (splice_buf_.size() < n) {
+    splice_buf_.resize(n);
+  }
+  const uint32_t mss = fsrc->mss;
+  const bool was_closed = fsrc->RxFree() < mss;
+  fsrc->AppReadRx(splice_buf_.data(), n);
+  fdst->AppWriteTx(splice_buf_.data(), n);
+  src->deliverable -= std::min<size_t>(src->deliverable, n);
+  Core* core = contexts_[src->context].core;
+  core->Charge(CpuModule::kSockets,
+               costs_->tx_api + static_cast<uint64_t>(costs_->splice_cycles_per_byte *
+                                                      static_cast<double>(n)));
+  if (was_closed && fsrc->RxFree() >= mss && fsrc->FastPathEligible()) {
+    const FlowId src_flow = src->flow;
+    const size_t src_ctx = src->context;
+    AtCoreHorizon(core, [this, src_ctx, src_flow] {
+      contexts_[src_ctx].queues->PushCommand(
+          TxCommand{TxCommandType::kWindowUpdate, src_flow, 0});
+    });
+  }
+  const FlowId dst_flow = dst->flow;
+  const size_t dst_ctx = dst->context;
+  AtCoreHorizon(core, [this, dst_ctx, dst_flow, n] {
+    contexts_[dst_ctx].queues->PushCommand(TxCommand{TxCommandType::kSend, dst_flow, n});
+  });
+  return n;
+}
+
 void TasStack::Close(ConnId conn) {
   Conn* c = GetConn(conn);
-  if (c == nullptr || c->closed) {
+  if (c == nullptr || c->tx_closed) {
     return;
   }
-  c->closed = true;
+  c->tx_closed = true;
   contexts_[c->context].core->Charge(CpuModule::kSockets, 200);
   service_->Close(c->flow);
 }
@@ -230,19 +279,40 @@ void TasStack::DispatchEvent(size_t /*context_index*/, const AppEvent& event) {
       conns_.erase(event.opaque);
       return;
     }
+    case AppEventType::kConnFin: {
+      Conn* c = GetConn(event.opaque);
+      if (c == nullptr || c->rx_closed) {
+        return;
+      }
+      c->rx_closed = true;
+      // Delivered even after a local Close() — like read() returning EOF on
+      // a shutdown(WR) socket — so an actively half-closing app still learns
+      // when the peer finishes its direction.
+      if (handler_ != nullptr) {
+        handler_->OnRemoteClosed(event.opaque);
+      }
+      return;
+    }
     case AppEventType::kConnClosed: {
       Conn* c = GetConn(event.opaque);
       if (c == nullptr) {
         return;
       }
-      if (c->closed) {
-        if (handler_ != nullptr) {
-          handler_->OnClosed(event.opaque);
-        }
-        conns_.erase(event.opaque);
-      } else if (handler_ != nullptr) {
+      // Abortive teardown (reset, retry exhaustion) can land here without a
+      // preceding kConnFin; surface the half-close first so handlers always
+      // observe OnRemoteClosed before OnClosed on a peer-initiated death.
+      if (!c->rx_closed && handler_ != nullptr) {
+        c->rx_closed = true;
         handler_->OnRemoteClosed(event.opaque);
+        c = GetConn(event.opaque);
+        if (c == nullptr) {
+          return;
+        }
       }
+      if (handler_ != nullptr) {
+        handler_->OnClosed(event.opaque);
+      }
+      conns_.erase(event.opaque);
       return;
     }
     case AppEventType::kAcceptable: {
@@ -253,7 +323,7 @@ void TasStack::DispatchEvent(size_t /*context_index*/, const AppEvent& event) {
         return;
       }
       const size_t ctx_index = next_context_rr_++ % contexts_.size();
-      conns_[flow_id] = Conn{flow_id, ctx_index, 0, false};
+      conns_[flow_id] = Conn{flow_id, ctx_index, 0, false, false};
       // Route future events to the context (and app core) owning this conn;
       // the event identity (fs.opaque == flow id) never changes.
       flow->fs.context = contexts_[ctx_index].id;

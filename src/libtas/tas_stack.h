@@ -38,6 +38,7 @@ class TasStack : public Stack {
   size_t Recv(ConnId conn, uint8_t* data, size_t len) override;
   size_t RecvAvailable(ConnId conn) const override;
   size_t SendSpace(ConnId conn) const override;
+  size_t Splice(ConnId from, ConnId to, size_t len) override;
   void Close(ConnId conn) override;
   void ChargeApp(ConnId conn, uint64_t cycles) override;
   IpAddr local_ip() const override { return service_->local_ip(); }
@@ -50,7 +51,11 @@ class TasStack : public Stack {
     FlowId flow = kInvalidFlow;
     size_t context = 0;       // Index into contexts_ == app core index.
     size_t deliverable = 0;   // Bytes announced via kRxData, not yet Recv'd.
-    bool closed = false;
+    // Half-close is per direction: tx_closed when the app called Close()
+    // (no more Sends), rx_closed when the peer's FIN arrived (no more data).
+    // The entry lives until the terminal kConnClosed event.
+    bool tx_closed = false;
+    bool rx_closed = false;
   };
 
   struct Context {
@@ -83,6 +88,7 @@ class TasStack : public Stack {
   // continuation (all callbacks there run on one context's core).
   bool defer_pushes_ = false;
   std::vector<std::function<void()>> deferred_pushes_;
+  std::vector<uint8_t> splice_buf_;  // Ring-to-ring bounce storage for Splice.
 };
 
 }  // namespace tas

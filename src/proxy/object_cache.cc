@@ -1,0 +1,45 @@
+#include "src/proxy/object_cache.h"
+
+namespace tas {
+
+bool HotObjectCache::Lookup(uint32_t object_id, uint32_t* body_len) {
+  auto it = index_.find(object_id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *body_len = it->second->second;
+  return true;
+}
+
+void HotObjectCache::Insert(uint32_t object_id, uint32_t body_len) {
+  if (body_len > capacity_) {
+    ++stats_.oversize_rejects;
+    return;
+  }
+  auto it = index_.find(object_id);
+  if (it != index_.end()) {
+    // Refresh: same id, same deterministic size — just bump recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (bytes_ + body_len > capacity_) {
+    EvictOne();
+  }
+  lru_.emplace_front(object_id, body_len);
+  index_[object_id] = lru_.begin();
+  bytes_ += body_len;
+  ++stats_.insertions;
+}
+
+void HotObjectCache::EvictOne() {
+  const auto& victim = lru_.back();
+  bytes_ -= victim.second;
+  index_.erase(victim.first);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+}  // namespace tas

@@ -1,0 +1,121 @@
+// OriginPool: bounded pool of keep-alive connections from the proxy to the
+// origin server, with pipelined request/response matching.
+//
+// Every proxied request is a Pending entry assigned to one origin connection;
+// responses on a connection answer its requests strictly in order (the origin
+// serves FIFO), so matching is a per-connection deque — the entry at the
+// front is the one the next response header belongs to. When all connections
+// are at their pipeline depth and the pool is at its connection bound,
+// requests wait in a global overflow queue (its high-water mark is the
+// "queued requests" pressure metric).
+//
+// Connections are retired by an idle reaper (periodic scan, idle_timeout) or
+// by origin-side close/failure; requests still unanswered on a dead
+// connection are transparently re-dispatched, so connection churn under
+// faults never loses a request (the chaos tests pin this down).
+//
+// The pool is not an AppHandler itself: ProxyServer owns the stack's handler
+// slot and relays origin-connection events here.
+#ifndef SRC_PROXY_ORIGIN_POOL_H_
+#define SRC_PROXY_ORIGIN_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/stack_iface.h"
+#include "src/sim/simulator.h"
+
+namespace tas {
+
+struct OriginPoolConfig {
+  IpAddr origin_ip = 0;
+  uint16_t origin_port = 8080;
+  size_t max_conns = 64;       // Hard bound on pool connections.
+  size_t pipeline_depth = 16;  // Max in-flight requests per connection.
+  TimeNs idle_timeout = Ms(20);
+  TimeNs reap_interval = Ms(5);
+};
+
+struct OriginPoolStats {
+  uint64_t opened = 0;           // Connect() calls issued.
+  uint64_t reused = 0;           // Requests assigned to an already-open conn.
+  uint64_t reaped = 0;           // Idle conns closed by the reaper.
+  uint64_t retired = 0;          // Conns that died (origin close or failure).
+  uint64_t redispatched = 0;     // Requests re-queued after their conn died.
+  uint64_t connect_failures = 0;
+  uint64_t conns_hw = 0;         // High-water live conns (must stay <= bound).
+  uint64_t queued_hw = 0;        // High-water overflow-queued requests.
+};
+
+class OriginPool {
+ public:
+  // One outstanding proxied request. `client`/`job` identify the ProxyServer
+  // response job the answer feeds; the pool treats them as opaque.
+  struct Pending {
+    uint32_t object_id = 0;
+    uint32_t request_id = 0;
+    ConnId client = kInvalidConn;
+    uint64_t job = 0;
+  };
+
+  OriginPool(Simulator* sim, Stack* stack, const OriginPoolConfig& config);
+
+  // Arms the idle reaper.
+  void Start();
+
+  bool Owns(ConnId conn) const { return conns_.count(conn) != 0; }
+
+  // Routes a request to an origin connection: reuse the least-loaded live
+  // conn, open a new one while under the bound, or queue.
+  void Dispatch(Pending req);
+
+  // The request the next response header on `conn` answers (FIFO), or
+  // nullptr if nothing is in flight.
+  Pending* Front(ConnId conn);
+  // The front request's response has been fully consumed.
+  void PopFront(ConnId conn);
+
+  // Event relays from ProxyServer (the stack's AppHandler).
+  void HandleConnected(ConnId conn, bool success);
+  void HandleSendSpace(ConnId conn);
+  void HandleRemoteClosed(ConnId conn);
+  void HandleClosed(ConnId conn);
+
+  size_t live_conns() const { return conns_.size(); }
+  size_t queued() const { return queue_.size(); }
+  const OriginPoolStats& stats() const { return stats_; }
+
+ private:
+  struct OriginConn {
+    std::deque<Pending> inflight;  // Front = oldest; trailing `unsent` not yet written.
+    size_t unsent = 0;
+    bool connected = false;
+    bool closing = false;  // FIN sent/seen; accepts no new requests.
+    TimeNs idle_since = 0;
+  };
+
+  void Assign(ConnId id, OriginConn& conn, Pending req);
+  // Least-loaded non-closing conn with pipeline headroom (stable tie-break).
+  OriginConn* SelectConn(ConnId* best_id);
+  ConnId OpenConn();
+  void TryWrite(ConnId id, OriginConn& conn);
+  void PumpQueue();
+  // Collects unanswered requests of a dead conn and re-dispatches them.
+  void RedispatchInflight(OriginConn& conn);
+  void Reap();
+
+  Simulator* sim_;
+  Stack* stack_;
+  OriginPoolConfig config_;
+  std::unordered_map<ConnId, OriginConn> conns_;
+  std::deque<Pending> queue_;  // Overflow: no conn had capacity.
+  std::unique_ptr<PeriodicTask> reaper_;
+  OriginPoolStats stats_;
+};
+
+}  // namespace tas
+
+#endif  // SRC_PROXY_ORIGIN_POOL_H_

@@ -1,0 +1,79 @@
+// Wire format for the reverse-proxy workload tier (DESIGN.md §11).
+//
+// Requests and responses are fixed-header framed so the proxy can split
+// header handling (always copied through user space) from body handling
+// (buffered + cached for small objects, spliced client<-origin for large
+// ones). Little-endian, like the kv_store format:
+//
+//   request:  [1B op][3B pad][4B object_id][4B request_id]
+//   response: [1B status][3B pad][4B request_id][4B body_len][body bytes]
+//
+// Object bodies are synthetic (zero-filled); their size is a pure function
+// of the object id so every tier — origin, proxy cache, client verifier —
+// agrees on the length without exchanging metadata.
+#ifndef SRC_PROXY_PROXY_WIRE_H_
+#define SRC_PROXY_PROXY_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tas {
+
+inline constexpr size_t kProxyRequestBytes = 12;
+inline constexpr size_t kProxyResponseHeader = 12;
+
+inline constexpr uint8_t kProxyOpGet = 1;
+inline constexpr uint8_t kProxyStatusOk = 0;
+
+inline void ProxyPutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline uint32_t ProxyGetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+struct ProxyRequest {
+  uint32_t object_id = 0;
+  uint32_t request_id = 0;
+};
+
+inline void EncodeProxyRequest(uint8_t* buf, const ProxyRequest& req) {
+  buf[0] = kProxyOpGet;
+  buf[1] = buf[2] = buf[3] = 0;
+  ProxyPutU32(buf + 4, req.object_id);
+  ProxyPutU32(buf + 8, req.request_id);
+}
+
+inline ProxyRequest DecodeProxyRequest(const uint8_t* buf) {
+  return ProxyRequest{ProxyGetU32(buf + 4), ProxyGetU32(buf + 8)};
+}
+
+struct ProxyResponseHeader {
+  uint8_t status = kProxyStatusOk;
+  uint32_t request_id = 0;
+  uint32_t body_len = 0;
+};
+
+inline void EncodeProxyResponseHeader(uint8_t* buf, const ProxyResponseHeader& h) {
+  buf[0] = h.status;
+  buf[1] = buf[2] = buf[3] = 0;
+  ProxyPutU32(buf + 4, h.request_id);
+  ProxyPutU32(buf + 8, h.body_len);
+}
+
+inline ProxyResponseHeader DecodeProxyResponseHeader(const uint8_t* buf) {
+  return ProxyResponseHeader{buf[0], ProxyGetU32(buf + 4), ProxyGetU32(buf + 8)};
+}
+
+// Deterministic body size for an object id: `min_bytes` plus a Knuth-hash
+// spread over [0, spread). spread == 0 makes every object exactly min_bytes.
+inline uint32_t ProxyObjectBytes(uint32_t object_id, uint32_t min_bytes, uint32_t spread) {
+  if (spread == 0) {
+    return min_bytes;
+  }
+  return min_bytes + (object_id * 2654435761u) % spread;
+}
+
+}  // namespace tas
+
+#endif  // SRC_PROXY_PROXY_WIRE_H_

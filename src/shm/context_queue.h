@@ -28,7 +28,11 @@ enum class AppEventType : uint8_t {
   kConnOpened,
   // Outgoing connection attempt failed.
   kConnOpenFailed,
-  // A remote close / reset terminated the connection.
+  // The peer's FIN was consumed: no more data will arrive, but the local
+  // direction stays open (half-close; libTAS surfaces OnRemoteClosed).
+  kConnFin,
+  // The connection is fully terminated (both directions down or reset); the
+  // flow id is about to be recycled.
   kConnClosed,
   // An incoming connection landed on a listener (slow path notification).
   kAcceptable,

@@ -76,6 +76,7 @@ void Flow::Reset() {
   fin_sent = false;
   fin_acked = false;
   app_closed = false;
+  fin_event_sent = false;
   closed_event_sent = false;
   in_dirty = false;
   in_pending = false;

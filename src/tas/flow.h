@@ -72,6 +72,7 @@ struct Flow {
   bool fin_sent = false;
   bool fin_acked = false;
   bool app_closed = false;        // App requested close.
+  bool fin_event_sent = false;    // kConnFin (half-close) pushed to the app.
   bool closed_event_sent = false;
   bool in_dirty = false;          // Queued for the next CC iteration.
   bool in_pending = false;        // On the handshake/teardown scan list.
@@ -80,7 +81,12 @@ struct Flow {
   TimeNs timewait_start = 0;
   TimeNs established_at = 0;
 
-  bool FastPathEligible() const { return cstate == ConnState::kEstablished; }
+  // kCloseWait is fast-path eligible too: after the peer's FIN the local
+  // direction stays open (half-close), and the remaining transmit stream is
+  // exactly the established-flow common case (data out, ACKs in).
+  bool FastPathEligible() const {
+    return cstate == ConnState::kEstablished || cstate == ConnState::kCloseWait;
+  }
 
   // Returns the record to freshly-constructed state while retaining the
   // payload buffer capacity, so slab slot recycling stays allocation-free.

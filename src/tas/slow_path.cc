@@ -193,9 +193,10 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
         HandleFin(flow_id, flow, pkt);
         return false;
       }
-      // Data or ACK for an established flow reached the slow path (e.g. a
-      // race with core re-steering): bounce it back to the fast path.
-      return flow.cstate == ConnState::kEstablished;
+      // Data or ACK for a fast-path-eligible flow reached the slow path
+      // (e.g. a race with core re-steering): bounce it back to the fast
+      // path. kCloseWait is eligible too — the local direction still streams.
+      return true;
     }
     case ConnState::kFinWait1: {
       if (pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq + 1) {
@@ -204,7 +205,11 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
       if (pkt.tcp.fin()) {
         HandleFin(flow_id, flow, pkt);
         return false;
-      } else if (flow.fin_acked) {
+      }
+      // The peer's direction is still open: a half-closed peer (e.g. a proxy
+      // flushing a response after our FIN) may keep streaming payload.
+      DeliverPayload(flow_id, flow, pkt);
+      if (flow.fin_acked) {
         flow.cstate = flow.fin_received ? ConnState::kTimeWait : ConnState::kFinWait2;
         if (flow.cstate == ConnState::kTimeWait) {
           flow.timewait_start = service_->sim()->Now();
@@ -216,6 +221,8 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
     case ConnState::kFinWait2: {
       if (pkt.tcp.fin()) {
         HandleFin(flow_id, flow, pkt);
+      } else {
+        DeliverPayload(flow_id, flow, pkt);
       }
       return false;
     }
@@ -235,6 +242,25 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
       return false;
   }
   return false;
+}
+
+void SlowPath::DeliverPayload(FlowId flow_id, Flow& flow, const Packet& pkt) {
+  if (pkt.payload.empty()) {
+    return;
+  }
+  const uint32_t len = static_cast<uint32_t>(pkt.payload.size());
+  if (pkt.tcp.seq == flow.fs.ack && len <= flow.RxFree()) {
+    flow.CopyIntoRx(pkt.tcp.seq, pkt.payload.data(), len);
+    flow.fs.ack += len;
+    flow.fs.rx_head += len;
+    service_->flow_trace().Record(service_->sim()->Now(), flow_id, FlowEventType::kDataRx,
+                                  pkt.tcp.seq, len, len);
+    service_->context(flow.fs.context)
+        ->PushEvent(AppEvent{AppEventType::kRxData, flow.fs.opaque, len});
+  }
+  // In-order: ack advanced past the segment. Out-of-order or overflow: the
+  // duplicate ACK below makes the peer retransmit.
+  SendControlAck(flow);
 }
 
 void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
@@ -261,11 +287,12 @@ void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
   flow.fin_received = true;
   SendControlAck(flow);
 
+  NotifyRemoteClosed(flow);
+
   switch (flow.cstate) {
     case ConnState::kEstablished:
       flow.cstate = ConnState::kCloseWait;
       TraceState(flow_id, flow);
-      NotifyClosed(flow);
       AddPending(flow_id, flow);
       break;
     case ConnState::kFinWait1:
@@ -412,6 +439,15 @@ void SlowPath::Establish(FlowId flow_id, Flow& flow, bool from_listener) {
   if (flow.TxAvailable() > 0) {
     service_->ScheduleFlowTx(flow_id, 0);
   }
+}
+
+void SlowPath::NotifyRemoteClosed(Flow& flow) {
+  if (flow.fin_event_sent) {
+    return;
+  }
+  flow.fin_event_sent = true;
+  service_->context(flow.fs.context)
+      ->PushEvent(AppEvent{AppEventType::kConnFin, flow.fs.opaque, 0});
 }
 
 void SlowPath::NotifyClosed(Flow& flow) {

@@ -55,7 +55,14 @@ class SlowPath {
   void SendFin(Flow& flow);
   void SendControlAck(Flow& flow);
   void Establish(FlowId flow_id, Flow& flow, bool from_listener);
+  // Half-close notification (kConnFin): the peer's receive direction ended
+  // but ours may keep transmitting. Terminal kConnClosed still follows from
+  // NotifyClosed when the flow is released.
+  void NotifyRemoteClosed(Flow& flow);
   void NotifyClosed(Flow& flow);
+  // Delivers in-order payload that reached the slow path after our FIN
+  // (kFinWait1/kFinWait2: the peer half-closed side may still stream data).
+  void DeliverPayload(FlowId flow_id, Flow& flow, const Packet& pkt);
   void ReleaseFlow(FlowId flow_id, Flow& flow);
   void AddPending(FlowId flow_id, Flow& flow);
   void TrySendFin(FlowId flow_id, Flow& flow);

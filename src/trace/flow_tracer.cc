@@ -33,6 +33,8 @@ const TypeInfo& InfoFor(FlowEventType type) {
       {"ooo_drop", "seq", "len", ""},
       {"rx_buffer_drop", "seq", "len", ""},
       {"cc_update", "rate_or_cwnd", "ecn_ppm", "rtt_us"},
+      {"proxy_request", "object_id", "request_id", "hit"},
+      {"proxy_response", "request_id", "body_len", "path"},
   };
   const size_t index = static_cast<size_t>(type);
   TAS_CHECK(index < sizeof(kInfo) / sizeof(kInfo[0]));

@@ -38,6 +38,10 @@ enum class FlowEventType : uint8_t {
   kOooDrop,             // a = wire seq, b = len.
   kRxBufferDrop,        // a = wire seq, b = len.
   kCcUpdate,            // a = rate [bps] or cwnd [bytes], b = ECN ppm, c = rtt us.
+  // Application-level proxy events (src/proxy), recorded with the client
+  // connection's flow id.
+  kProxyRequest,        // a = object id, b = request id, c = 1 if cache hit.
+  kProxyResponse,       // a = request id, b = body bytes, c = path (0 hit, 1 store, 2 splice).
 };
 
 // Stable lower_snake name used in JSONL/Perfetto output.

@@ -95,26 +95,4 @@ double BoundedPareto::Mean() const {
          (1.0 / std::pow(min_, alpha_ - 1.0) - 1.0 / std::pow(max_, alpha_ - 1.0));
 }
 
-ZipfDist::ZipfDist(size_t n, double s) {
-  TAS_CHECK(n > 0);
-  cdf_.resize(n);
-  double sum = 0;
-  for (size_t i = 0; i < n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
-    cdf_[i] = sum;
-  }
-  for (auto& c : cdf_) {
-    c /= sum;
-  }
-}
-
-size_t ZipfDist::Sample(Rng& rng) const {
-  const double u = rng.NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) {
-    return cdf_.size() - 1;
-  }
-  return static_cast<size_t>(it - cdf_.begin());
-}
-
 }  // namespace tas

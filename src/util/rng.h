@@ -3,8 +3,8 @@
 //
 // The generator is xoshiro256**, seeded by splitmix64, so every experiment is
 // reproducible from its seed. Distributions: uniform, exponential (Poisson
-// arrivals), bounded Pareto (flow sizes, Fig 11), and Zipf (key popularity in
-// the key-value store workload, s = 0.9 per the paper).
+// arrivals), and bounded Pareto (flow sizes, Fig 11). Zipf popularity lives
+// in src/util/zipf.h (ZipfGenerator).
 #ifndef SRC_UTIL_RNG_H_
 #define SRC_UTIL_RNG_H_
 
@@ -54,19 +54,6 @@ class BoundedPareto {
   double min_;
   double max_;
   double alpha_;
-};
-
-// Zipf distribution over {0, ..., n-1} with skew s, sampled in O(log n) via
-// a precomputed CDF. Matches the paper's KV workload (zipf, s = 0.9).
-class ZipfDist {
- public:
-  ZipfDist(size_t n, double s);
-
-  size_t Sample(Rng& rng) const;
-  size_t size() const { return cdf_.size(); }
-
- private:
-  std::vector<double> cdf_;
 };
 
 }  // namespace tas

@@ -1,0 +1,87 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace tas {
+namespace {
+
+// log1p(x)/x, series-expanded near zero where the quotient cancels.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::log1p(x) / x;
+  }
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// expm1(x)/x, series-expanded near zero.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::expm1(x) / x;
+  }
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(size_t n, double s) : n_(n), s_(s) {
+  TAS_CHECK(n > 0);
+  TAS_CHECK(s > 0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+// H(x) = Integral of h(t) = t^-s: ((x^(1-s)) - 1) / (1 - s), expressed via
+// expm1 so s -> 1 degrades gracefully to log(x).
+double ZipfGenerator::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfGenerator::H(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) {
+    t = -1.0;  // Numerical round-off: clamp to the domain boundary.
+  }
+  return std::exp(Helper1(t) * x);
+}
+
+size_t ZipfGenerator::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    // Accept k if x lands within the hat's acceptance region: either the
+    // cheap distance shortcut or the exact integral comparison.
+    if (k - x <= threshold_ || u >= HIntegral(k + 0.5) - H(k)) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfGenerator::Pmf(size_t k) const {
+  TAS_CHECK(k < n_);
+  if (harmonic_ == 0) {
+    double sum = 0;
+    for (size_t i = 1; i <= n_; ++i) {
+      sum += std::exp(-s_ * std::log(static_cast<double>(i)));
+    }
+    harmonic_ = sum;
+  }
+  return std::exp(-s_ * std::log(static_cast<double>(k) + 1.0)) / harmonic_;
+}
+
+}  // namespace tas

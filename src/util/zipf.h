@@ -1,0 +1,49 @@
+// Zipf(s) sampling over {0, ..., n-1} by rejection inversion of the bounding
+// integral (Hörmann & Derflinger, "Rejection-inversion to generate variates
+// from monotone discrete distributions", 1996): O(1) memory and O(1) expected
+// time per sample, unlike the precomputed-CDF approach whose table costs O(n)
+// space and O(n) setup — prohibitive for proxy/KV workloads with millions of
+// objects. Shared by the KV client and the proxy client generator (the paper
+// uses zipf s = 0.9 for key popularity, §5.3).
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace tas {
+
+class ZipfGenerator {
+ public:
+  // Distribution over n ranks with skew s > 0 (s = 1 is the classic zipf).
+  ZipfGenerator(size_t n, double s);
+
+  // Draws a rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return n_; }
+  double skew() const { return s_; }
+
+  // Exact probability of rank k (0-indexed). Computes the generalized
+  // harmonic normalizer lazily on first use (O(n) once); meant for
+  // goodness-of-fit tests and diagnostics, not the sampling hot path.
+  double Pmf(size_t k) const;
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  size_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double threshold_;  // Acceptance shortcut: k - x <= threshold_.
+  mutable double harmonic_ = 0;  // Lazily computed sum_{i=1..n} i^-s.
+};
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_ZIPF_H_

@@ -1,0 +1,232 @@
+// Graceful half-close on TAS (paper §2: TCP termination is a slow-path
+// concern, but a FIN only ends one direction). A peer that closes its send
+// side must still receive everything the other side owes it: the receiving
+// flow keeps transmitting from kCloseWait (still fast-path eligible), and
+// the FIN'd side keeps consuming data in kFinWait1/2. libTAS surfaces the
+// peer's FIN as OnRemoteClosed and full termination as OnClosed, in that
+// order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace tas {
+namespace {
+
+LinkConfig TestLink() {
+  LinkConfig link;
+  link.gbps = 10.0;
+  link.propagation_delay = Us(2);
+  link.queue_limit_pkts = 256;
+  return link;
+}
+
+HostSpec TasSpec() {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  return spec;
+}
+
+// Server: consumes the request, and once the client half-closes, answers
+// with `response_bytes` on the half-open connection, then closes.
+class HalfCloseServer : public AppHandler {
+ public:
+  HalfCloseServer(Stack* stack, uint16_t port, size_t response_bytes)
+      : stack_(stack), port_(port), response_bytes_(response_bytes) {}
+
+  void Start() {
+    stack_->SetHandler(this);
+    stack_->Listen(port_);
+  }
+
+  void OnAccepted(ConnId conn, uint16_t) override { conn_ = conn; }
+  void OnData(ConnId conn, size_t bytes) override {
+    std::vector<uint8_t> buf(bytes);
+    received_ += stack_->Recv(conn, buf.data(), bytes);
+  }
+  void OnRemoteClosed(ConnId conn) override {
+    ++remote_closed_;
+    remote_closed_seq_ = ++event_seq_;
+    // The interesting part: transmit *after* the peer's FIN.
+    std::vector<uint8_t> body(response_bytes_, 0xAB);
+    size_t sent = 0;
+    while (sent < body.size()) {
+      const size_t n = stack_->Send(conn, body.data() + sent, body.size() - sent);
+      if (n == 0) {
+        break;
+      }
+      sent += n;
+    }
+    response_sent_ = sent;
+    stack_->Close(conn);
+  }
+  void OnClosed(ConnId) override {
+    ++fully_closed_;
+    closed_seq_ = ++event_seq_;
+  }
+
+  Stack* stack_;
+  uint16_t port_;
+  size_t response_bytes_;
+  ConnId conn_ = kInvalidConn;
+  size_t received_ = 0;
+  size_t response_sent_ = 0;
+  int remote_closed_ = 0;
+  int fully_closed_ = 0;
+  int event_seq_ = 0;
+  int remote_closed_seq_ = 0;
+  int closed_seq_ = 0;
+};
+
+// Client: writes a small request, immediately closes its direction, and
+// keeps reading the response on the half-open connection.
+class HalfCloseClient : public AppHandler {
+ public:
+  HalfCloseClient(Stack* stack, IpAddr server, uint16_t port) : stack_(stack), server_(server), port_(port) {}
+
+  void Start() {
+    stack_->SetHandler(this);
+    conn_ = stack_->Connect(server_, port_);
+  }
+
+  void OnConnected(ConnId conn, bool success) override {
+    ASSERT_TRUE(success);
+    uint8_t req[12] = {1};
+    ASSERT_EQ(stack_->Send(conn, req, sizeof(req)), sizeof(req));
+    stack_->Close(conn);  // FIN rides out right behind the request.
+  }
+  void OnData(ConnId conn, size_t bytes) override {
+    std::vector<uint8_t> buf(bytes);
+    const size_t n = stack_->Recv(conn, buf.data(), bytes);
+    for (size_t i = 0; i < n; ++i) {
+      if (buf[i] != 0xAB) {
+        ++corrupt_;
+      }
+    }
+    received_ += n;
+  }
+  void OnRemoteClosed(ConnId) override {
+    ++remote_closed_;
+    remote_closed_seq_ = ++event_seq_;
+  }
+  void OnClosed(ConnId) override {
+    ++fully_closed_;
+    closed_seq_ = ++event_seq_;
+  }
+
+  Stack* stack_;
+  IpAddr server_;
+  uint16_t port_;
+  ConnId conn_ = kInvalidConn;
+  size_t received_ = 0;
+  size_t corrupt_ = 0;
+  int remote_closed_ = 0;
+  int fully_closed_ = 0;
+  int event_seq_ = 0;
+  int remote_closed_seq_ = 0;
+  int closed_seq_ = 0;
+};
+
+TEST(HalfCloseTest, ResponseFlowsAfterClientFin) {
+  auto exp = Experiment::PointToPoint(TasSpec(), TasSpec(), TestLink());
+  const size_t kResponse = 48 * 1024;  // Under the 64KB buffers.
+  HalfCloseServer server(exp->host(0).stack(), 7000, kResponse);
+  HalfCloseClient client(exp->host(1).stack(), exp->host(0).ip(), 7000);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(5));
+
+  EXPECT_EQ(server.received_, 12u);
+  EXPECT_EQ(server.remote_closed_, 1);
+  EXPECT_EQ(server.response_sent_, kResponse);
+  // The whole response crossed the half-open connection.
+  EXPECT_EQ(client.received_, kResponse);
+  EXPECT_EQ(client.corrupt_, 0u);
+  // OnRemoteClosed strictly precedes OnClosed on both sides.
+  EXPECT_EQ(client.remote_closed_, 1);
+  EXPECT_EQ(client.fully_closed_, 1);
+  EXPECT_LT(client.remote_closed_seq_, client.closed_seq_);
+  EXPECT_EQ(server.fully_closed_, 1);
+  EXPECT_LT(server.remote_closed_seq_, server.closed_seq_);
+}
+
+// Close() with unacked data still queued in the stack: the FIN must
+// sequence after the data, so the receiver sees every byte, then the FIN.
+class FloodAndCloseClient : public AppHandler {
+ public:
+  FloodAndCloseClient(Stack* stack, IpAddr server, uint16_t port)
+      : stack_(stack), server_(server), port_(port) {}
+
+  void Start() {
+    stack_->SetHandler(this);
+    stack_->Connect(server_, port_);
+  }
+  void OnConnected(ConnId conn, bool success) override {
+    ASSERT_TRUE(success);
+    // Stuff the send buffer to the brim, then close with it all pending.
+    std::vector<uint8_t> chunk(4096);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      chunk[i] = static_cast<uint8_t>(i % 251);
+    }
+    size_t n;
+    while ((n = stack_->Send(conn, chunk.data(), chunk.size())) > 0) {
+      sent_ += n;
+    }
+    stack_->Close(conn);
+  }
+  void OnClosed(ConnId) override { ++fully_closed_; }
+
+  Stack* stack_;
+  IpAddr server_;
+  uint16_t port_;
+  size_t sent_ = 0;
+  int fully_closed_ = 0;
+};
+
+class CountingServer : public AppHandler {
+ public:
+  CountingServer(Stack* stack, uint16_t port) : stack_(stack), port_(port) {}
+  void Start() {
+    stack_->SetHandler(this);
+    stack_->Listen(port_);
+  }
+  void OnData(ConnId conn, size_t bytes) override {
+    std::vector<uint8_t> buf(bytes);
+    received_ += stack_->Recv(conn, buf.data(), bytes);
+  }
+  void OnRemoteClosed(ConnId conn) override {
+    received_at_fin_ = received_;
+    ++remote_closed_;
+    stack_->Close(conn);
+  }
+  void OnClosed(ConnId) override { ++fully_closed_; }
+
+  Stack* stack_;
+  uint16_t port_;
+  size_t received_ = 0;
+  size_t received_at_fin_ = 0;
+  int remote_closed_ = 0;
+  int fully_closed_ = 0;
+};
+
+TEST(HalfCloseTest, CloseWithDataPendingFlushesFirst) {
+  auto exp = Experiment::PointToPoint(TasSpec(), TasSpec(), TestLink());
+  CountingServer server(exp->host(0).stack(), 7001);
+  FloodAndCloseClient client(exp->host(1).stack(), exp->host(0).ip(), 7001);
+  server.Start();
+  client.Start();
+  exp->sim().RunUntil(Sec(5));
+
+  EXPECT_GT(client.sent_, 0u);
+  EXPECT_EQ(server.received_, client.sent_);
+  // Every queued byte had been delivered by the time the FIN surfaced.
+  EXPECT_EQ(server.received_at_fin_, client.sent_);
+  EXPECT_EQ(server.remote_closed_, 1);
+  EXPECT_EQ(server.fully_closed_, 1);
+  EXPECT_EQ(client.fully_closed_, 1);
+}
+
+}  // namespace
+}  // namespace tas
