@@ -1,0 +1,108 @@
+// critical_path_gate: CI regression gate for per-class critical-path
+// composition (DESIGN.md §12).
+//
+// Usage: critical_path_gate <baseline.json> <current.json> [tolerance]
+//
+// Both files hold a CriticalPathReport as emitted by proxy_cycles'
+// PROXY_CRITPATH_JSON line (or a Tracer's <prefix>.critical_path.json dump).
+// The gate fails (exit 1) when any (request class, edge) row — including the
+// synthetic "e2e" row — regresses its mean or p99 beyond `tolerance`
+// (fractional, default 0.25 = +25%) relative to the baseline, or when a
+// whole request class present in the baseline disappears. Improvements
+// always pass; rows with too few baseline samples are skipped (see
+// CompareCriticalPathReports). The simulator is deterministic, so on an
+// unchanged workload the reports are identical and the gate only trips on
+// real changes to where requests spend their time — in which case the
+// baseline should be re-recorded deliberately (see EXPERIMENTS.md).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/trace/causal.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream is(path);
+  if (!is) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  // proxy_cycles output may be piped in whole; keep only the report line if
+  // the file contains the PROXY_CRITPATH_JSON prefix.
+  const std::string prefix = "PROXY_CRITPATH_JSON ";
+  const size_t pos = out->find(prefix);
+  if (pos != std::string::npos) {
+    const size_t start = pos + prefix.size();
+    const size_t end = out->find('\n', start);
+    *out = out->substr(start, end == std::string::npos ? std::string::npos : end - start);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: critical_path_gate <baseline.json> <current.json> [tolerance]\n";
+    return 2;
+  }
+  double tolerance = 0.25;
+  if (argc == 4) {
+    char* end = nullptr;
+    tolerance = std::strtod(argv[3], &end);
+    if (end == argv[3] || tolerance < 0) {
+      std::cerr << "critical_path_gate: bad tolerance '" << argv[3] << "'\n";
+      return 2;
+    }
+  }
+
+  std::string baseline_json;
+  std::string current_json;
+  if (!ReadFile(argv[1], &baseline_json)) {
+    std::cerr << "critical_path_gate: cannot read baseline " << argv[1] << "\n";
+    return 2;
+  }
+  if (!ReadFile(argv[2], &current_json)) {
+    std::cerr << "critical_path_gate: cannot read current " << argv[2] << "\n";
+    return 2;
+  }
+
+  bool ok = false;
+  const tas::CriticalPathReport baseline =
+      tas::ParseCriticalPathReportJson(baseline_json, &ok);
+  if (!ok) {
+    std::cerr << "critical_path_gate: baseline is not a CriticalPathReport: " << argv[1]
+              << "\n";
+    return 2;
+  }
+  const tas::CriticalPathReport current = tas::ParseCriticalPathReportJson(current_json, &ok);
+  if (!ok) {
+    std::cerr << "critical_path_gate: current is not a CriticalPathReport: " << argv[2] << "\n";
+    return 2;
+  }
+
+  const auto regressions = tas::CompareCriticalPathReports(baseline, current, tolerance);
+  std::cout << "critical_path_gate: tolerance +" << static_cast<int>(tolerance * 100 + 0.5)
+            << "%, " << baseline.classes.size() << " baseline classes, "
+            << current.classes.size() << " current classes\n";
+  std::cout << current.ToTable();
+  if (regressions.empty()) {
+    std::cout << "critical_path_gate: PASS (no class/edge regressed beyond tolerance)\n";
+    return 0;
+  }
+  for (const auto& r : regressions) {
+    std::printf(
+        "critical_path_gate: REGRESSION %s/%s %s: baseline %.0f -> current %.0f (%.2fx)\n",
+        r.request_class.c_str(), r.edge.c_str(), r.metric.c_str(), r.baseline, r.current,
+        r.ratio);
+  }
+  std::cout << "critical_path_gate: FAIL (" << regressions.size() << " regression"
+            << (regressions.size() == 1 ? "" : "s") << ")\n";
+  return 1;
+}

@@ -20,6 +20,7 @@
 //
 // Emits one machine-readable line (PROXY_CYCLES_JSON) so CI can archive the
 // trajectory next to PERF_SMOKE_JSON; see EXPERIMENTS.md.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -54,9 +55,14 @@ LinkConfig EdgeLink() {
   return link;
 }
 
-HostSpec ProxyHostSpec(bool latency_stages) {
+HostSpec ProxyHostSpec(bool latency_stages, bool causal) {
   HostSpec spec = ServerSpec(StackKind::kTas, 1, 2, 64 * 1024);
   spec.tas.trace.latency_stages = latency_stages;
+  // Request-level causal tracing (DESIGN.md §12). Queued requests can
+  // outlive thousands of newer trace mints under overflow-queue pressure, so
+  // give the churn run a 16k-slot ring to stay drop-free.
+  spec.tas.trace.causal = causal;
+  spec.tas.trace.causal_trace_capacity = 1u << 14;
   return spec;
 }
 
@@ -69,10 +75,10 @@ struct Rig {
 
 // host 0 = proxy (measured), host 1 = origin, host 2 = clients.
 Rig MakeRig(ProxyServerConfig proxy_cfg, OriginServerConfig origin_cfg,
-            ProxyClientConfig client_cfg, bool latency_stages = false) {
+            ProxyClientConfig client_cfg, bool latency_stages = false, bool causal = false) {
   Rig rig;
   rig.exp = Experiment::Star(
-      {ProxyHostSpec(latency_stages), ServerSpec(StackKind::kTas, 1, 2, 64 * 1024),
+      {ProxyHostSpec(latency_stages, causal), ServerSpec(StackKind::kTas, 1, 2, 64 * 1024),
        ServerSpec(StackKind::kTas, 1, 2, 64 * 1024)},
       {ProxyLink(), EdgeLink(), EdgeLink()});
   proxy_cfg.pool.origin_ip = rig.exp->host(1).ip();
@@ -203,6 +209,15 @@ struct ChurnResult {
   uint64_t spliced_bytes = 0;
   uint64_t latency_records = 0;
   uint64_t partition_mismatches = 0;
+  // Request-level causal tracing health (DESIGN.md §12).
+  uint64_t causal_completed = 0;
+  uint64_t causal_mismatches = 0;
+  uint64_t causal_dropped = 0;
+  uint64_t causal_truncated = 0;
+  uint64_t trace_mismatches = 0;  // Responses whose trace id did not echo.
+  std::string critpath_json;      // CriticalPathReport::ToJson().
+  std::string critpath_table;     // CriticalPathReport::ToTable().
+  std::vector<std::string> classes_seen;
   double hit_rate = 0;
   double p50_us = 0;
   double p99_us = 0;
@@ -217,7 +232,9 @@ struct ChurnResult {
 ChurnResult RunChurn(double alpha) {
   ProxyServerConfig pc;
   pc.cache_bytes = 256 * 1024;
-  pc.splice_min_body = 16 * 1024;  // Bodies stay below; cache takes the load.
+  // Low enough that the body spread (64..2112) produces all three response
+  // paths — the per-class critical-path report needs splice traffic too.
+  pc.splice_min_body = 1024;
   pc.pool.max_conns = 64;
   OriginServerConfig oc;
   oc.min_body_bytes = 64;
@@ -231,7 +248,7 @@ ChurnResult RunChurn(double alpha) {
   cc.num_objects = 4096;
   cc.zipf_skew = alpha;
   cc.connect_spread = Ms(10);
-  Rig rig = MakeRig(pc, oc, cc, /*latency_stages=*/true);
+  Rig rig = MakeRig(pc, oc, cc, /*latency_stages=*/true, /*causal=*/true);
   rig.clients->BeginMeasurement();  // Record latency for the whole run.
 
   ChurnResult result;
@@ -262,6 +279,18 @@ ChurnResult RunChurn(double alpha) {
   const LatencyTracer& lat = rig.exp->host(0).tas()->tracer().latency();
   result.latency_records = lat.completed();
   result.partition_mismatches = lat.partition_mismatches();
+  const CausalTracer& ct = rig.exp->host(0).tas()->tracer().causal();
+  result.causal_completed = ct.completed();
+  result.causal_mismatches = ct.critical_path_mismatches();
+  result.causal_dropped = ct.dropped();
+  result.causal_truncated = ct.truncated();
+  result.trace_mismatches = rig.clients->trace_mismatches();
+  const CriticalPathReport report = ct.Report();
+  result.critpath_json = report.ToJson();
+  result.critpath_table = report.ToTable();
+  for (const CriticalPathClassSummary& cls : report.classes) {
+    result.classes_seen.push_back(cls.request_class);
+  }
   return result;
 }
 
@@ -309,13 +338,18 @@ int Run() {
     churn.push_back(RunChurn(alpha));
   }
   TablePrinter churn_table({"alpha", "completed", "hit rate", "pool hw", "p50 us", "p99 us",
-                            "partition mm"});
+                            "partition mm", "critpath mm"});
   for (const ChurnResult& c : churn) {
     churn_table.AddRow(Fmt(c.alpha, 1), c.completed, Fmt(c.hit_rate * 100, 1) + "%",
                        c.pool_conns_hw, Fmt(c.p50_us, 1), Fmt(c.p99_us, 1),
-                       c.partition_mismatches);
+                       c.partition_mismatches, c.causal_mismatches);
   }
   churn_table.Print();
+
+  // Per-class critical-path anatomy of the middle (alpha=0.9) run — the
+  // breakdown the PROXY_CRITPATH_JSON gate baseline is recorded from.
+  std::cout << "\nCritical-path breakdown (alpha=0.9 churn):\n"
+            << churn[1].critpath_table;
 
   // --- Gates ---
   std::vector<std::string> failures;
@@ -357,6 +391,28 @@ int Run() {
                          std::to_string(c.partition_mismatches) + " mismatches over " +
                          std::to_string(c.latency_records) + " records)");
     }
+    if (c.causal_completed == 0 || c.causal_mismatches != 0) {
+      failures.push_back(tag.str() + "critical-path partition check failed (" +
+                         std::to_string(c.causal_mismatches) + " mismatches over " +
+                         std::to_string(c.causal_completed) + " traces)");
+    }
+    if (c.causal_dropped != 0 || c.causal_truncated != 0) {
+      failures.push_back(tag.str() + "causal ring overflowed (dropped " +
+                         std::to_string(c.causal_dropped) + ", truncated " +
+                         std::to_string(c.causal_truncated) + ")");
+    }
+    if (c.trace_mismatches != 0) {
+      failures.push_back(tag.str() + "responses failed to echo their trace id");
+    }
+  }
+  // The gate baseline needs every request class; the alpha=0.9 workload is
+  // sized to produce all four.
+  for (const char* want : {"hit", "store", "splice", "coalesced"}) {
+    if (std::find(churn[1].classes_seen.begin(), churn[1].classes_seen.end(), want) ==
+        churn[1].classes_seen.end()) {
+      failures.push_back(std::string("churn alpha=0.9 produced no '") + want +
+                         "' class traffic");
+    }
   }
 
   // One line, machine readable; CI greps for the prefix and archives it.
@@ -389,10 +445,16 @@ int Run() {
          << ",\"spliced_bytes\":" << c.spliced_bytes << ",\"p50_us\":" << c.p50_us
          << ",\"p99_us\":" << c.p99_us << ",\"latency_records\":" << c.latency_records
          << ",\"partition_mismatches\":" << c.partition_mismatches
+         << ",\"causal_completed\":" << c.causal_completed
+         << ",\"causal_mismatches\":" << c.causal_mismatches
          << ",\"sim_ms\":" << c.finished_at / 1000000 << "}";
   }
   json << "],\"gates_failed\":" << failures.size() << "}";
   std::cout << json.str() << std::endl;
+
+  // The alpha=0.9 per-class critical-path report on its own line: CI archives
+  // it and critical_path_gate compares it against the checked-in baseline.
+  std::cout << "PROXY_CRITPATH_JSON " << churn[1].critpath_json << std::endl;
 
   if (!failures.empty()) {
     for (const std::string& f : failures) {

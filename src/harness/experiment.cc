@@ -41,6 +41,7 @@ SimHost::SimHost(Simulator* sim, HostPort* port, const HostSpec& spec)
         config.trace.cpu_spans = true;
         config.trace.sample_flows = true;
         config.trace.latency_stages = true;
+        config.trace.causal = true;
         if (config.trace.sample_period == 0) {
           config.trace.sample_period = Us(100);
         }

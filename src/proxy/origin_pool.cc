@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/proxy/proxy_wire.h"
+#include "src/trace/causal.h"
 #include "src/util/logging.h"
 
 namespace tas {
@@ -41,6 +42,13 @@ void OriginPool::Dispatch(Pending req) {
 }
 
 void OriginPool::Assign(ConnId id, OriginConn& conn, Pending req) {
+  if (req.trace != 0) {
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      // Dispatch -> assigned: zero-width when a conn had headroom, the
+      // overflow-queue wait when the request came off `queue_`.
+      ct->Mark(req.trace, CausalEdge::kOverflowQueue, sim_->Now());
+    }
+  }
   conn.inflight.push_back(req);
   ++conn.unsent;
   if (conn.connected) {
@@ -65,10 +73,16 @@ void OriginPool::TryWrite(ConnId id, OriginConn& conn) {
     }
     Pending& req = conn.inflight[conn.inflight.size() - conn.unsent];
     uint8_t buf[kProxyRequestBytes];
-    EncodeProxyRequest(buf, ProxyRequest{req.object_id, req.request_id});
+    EncodeProxyRequest(buf, ProxyRequest{req.object_id, req.request_id, req.trace, req.span});
     const size_t sent = stack_->Send(id, buf, sizeof(buf));
     TAS_CHECK(sent == sizeof(buf));
     --conn.unsent;
+    if (req.trace != 0) {
+      if (CausalTracer* ct = CausalTracer::Current()) {
+        // Assigned -> accepted by the origin conn (pipeline backpressure).
+        ct->Mark(req.trace, CausalEdge::kOriginQueue, sim_->Now());
+      }
+    }
   }
 }
 
@@ -84,6 +98,14 @@ OriginPool::Pending* OriginPool::Front(ConnId conn) {
 void OriginPool::PopFront(ConnId conn) {
   auto it = conns_.find(conn);
   TAS_CHECK(it != conns_.end() && !it->second.inflight.empty());
+  const Pending& front = it->second.inflight.front();
+  if (front.trace != 0) {
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      // The fetch is over once its response has been fully consumed (body
+      // buffered, spliced through, or discarded).
+      ct->EndSpan(front.trace, front.span, sim_->Now());
+    }
+  }
   it->second.inflight.pop_front();
   if (it->second.inflight.empty()) {
     it->second.idle_since = sim_->Now();
@@ -206,11 +228,7 @@ void OriginPool::PumpQueue() {
     }
     Pending req = queue_.front();
     queue_.pop_front();
-    best->inflight.push_back(req);
-    ++best->unsent;
-    if (best->connected) {
-      TryWrite(best_id, *best);
-    }
+    Assign(best_id, *best, req);
   }
 }
 

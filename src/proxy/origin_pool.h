@@ -53,12 +53,17 @@ struct OriginPoolStats {
 class OriginPool {
  public:
   // One outstanding proxied request. `client`/`job` identify the ProxyServer
-  // response job the answer feeds; the pool treats them as opaque.
+  // response job the answer feeds; the pool treats them as opaque. `trace` /
+  // `span` are the causal-trace context: span is the origin-fetch span the
+  // origin tier parents under (both 0 when tracing is off). A re-dispatched
+  // Pending keeps its fetch span — the retry is the same fetch, longer.
   struct Pending {
     uint32_t object_id = 0;
     uint32_t request_id = 0;
     ConnId client = kInvalidConn;
     uint64_t job = 0;
+    uint64_t trace = 0;
+    uint32_t span = 0;
   };
 
   OriginPool(Simulator* sim, Stack* stack, const OriginPoolConfig& config);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/proxy/proxy_wire.h"
+#include "src/trace/causal.h"
 
 namespace tas {
 
@@ -48,10 +49,23 @@ void OriginServer::OnData(ConnId conn, size_t bytes) {
     off += kProxyRequestBytes;
     stack_->ChargeApp(conn, config_.app_cycles_per_request);
     const uint32_t body_len = BodyBytes(req.object_id);
+    if (req.trace_id != 0) {
+      if (CausalTracer* ct = CausalTracer::Current()) {
+        // Request crossed proxy -> origin; serve span parents under the
+        // proxy's origin-fetch span carried on the wire.
+        ct->Mark(req.trace_id, CausalEdge::kNetToOrigin, sim_->Now());
+        const uint32_t span =
+            ct->StartSpan(req.trace_id, req.parent_span, CausalSpanKind::kOriginServe,
+                          sim_->Now(), req.object_id, req.request_id);
+        state.out_msgs.push_back(
+            OutMsg{state.outbox.size() + kProxyResponseHeader + body_len, req.trace_id, span});
+      }
+    }
     const size_t out_off = state.outbox.size();
     state.outbox.resize(out_off + kProxyResponseHeader + body_len);  // Zero body.
-    EncodeProxyResponseHeader(state.outbox.data() + out_off,
-                              ProxyResponseHeader{kProxyStatusOk, req.request_id, body_len});
+    EncodeProxyResponseHeader(
+        state.outbox.data() + out_off,
+        ProxyResponseHeader{kProxyStatusOk, req.request_id, body_len, req.trace_id});
     ++requests_served_;
     ++state.served;
     if (config_.close_after_requests > 0 && state.served >= config_.close_after_requests) {
@@ -73,9 +87,22 @@ void OriginServer::Flush(ConnId conn, ConnState& state) {
     const size_t n = stack_->Send(conn, state.outbox.data() + state.outbox_off,
                                   state.outbox.size() - state.outbox_off);
     if (n == 0) {
-      return;  // Resume on OnSendSpace.
+      break;  // Resume on OnSendSpace.
     }
     state.outbox_off += n;
+  }
+  // Every traced response whose last byte the stack just accepted is served:
+  // close its edge + span (it is "in the network" from here).
+  while (!state.out_msgs.empty() && state.outbox_off >= state.out_msgs.front().end_off) {
+    const OutMsg& msg = state.out_msgs.front();
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      ct->Mark(msg.trace, CausalEdge::kOriginServe, sim_->Now());
+      ct->EndSpan(msg.trace, msg.span, sim_->Now());
+    }
+    state.out_msgs.pop_front();
+  }
+  if (state.outbox_off < state.outbox.size()) {
+    return;
   }
   state.outbox.clear();
   state.outbox_off = 0;

@@ -11,6 +11,7 @@
 #define SRC_PROXY_ORIGIN_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -48,10 +49,20 @@ class OriginServer : public AppHandler {
   void OnClosed(ConnId conn) override;
 
  private:
+  // Causal-trace bookkeeping for one queued response: when `outbox_off`
+  // crosses `end_off`, the response has been fully accepted by our stack and
+  // the serve span/edge closes (DESIGN.md §12).
+  struct OutMsg {
+    size_t end_off = 0;
+    uint64_t trace = 0;
+    uint32_t span = 0;
+  };
+
   struct ConnState {
     std::vector<uint8_t> inbuf;   // Partial request bytes.
     std::vector<uint8_t> outbox;  // Response bytes not yet accepted by the stack.
     size_t outbox_off = 0;
+    std::deque<OutMsg> out_msgs;  // Traced responses still in the outbox.
     uint32_t served = 0;
     bool closing = false;     // Quota reached or peer FIN'd; no new requests.
     bool close_sent = false;  // Close() already issued.

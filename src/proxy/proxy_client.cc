@@ -123,11 +123,20 @@ void ProxyClientGen::MaybeSend(ConnId conn, CState& state) {
     }
     const uint32_t request_id = next_request_id_++;
     stack_->ChargeApp(conn, config_.app_cycles_per_request);
+    uint64_t trace_id = 0;
+    uint32_t root_span = 0;
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      // Mint the trace here — the client is the causal root; everything
+      // downstream parents under root_span via the wire context.
+      trace_id = ct->BeginTrace(sim_->Now());
+      root_span = ct->StartSpan(trace_id, 0, CausalSpanKind::kRequest, sim_->Now(), object_id,
+                                request_id);
+    }
     uint8_t buf[kProxyRequestBytes];
-    EncodeProxyRequest(buf, ProxyRequest{object_id, request_id});
+    EncodeProxyRequest(buf, ProxyRequest{object_id, request_id, trace_id, root_span});
     const size_t sent = stack_->Send(conn, buf, sizeof(buf));
     TAS_CHECK(sent == sizeof(buf));
-    state.inflight.push_back(PendingReq{object_id, request_id, sim_->Now()});
+    state.inflight.push_back(PendingReq{object_id, request_id, sim_->Now(), trace_id, root_span});
   }
   if (quota > 0 && state.issued >= quota && config_.half_close && !state.fin_sent &&
       retry_queue_.empty()) {
@@ -190,6 +199,9 @@ void ProxyClientGen::HandleResponseData(ConnId conn, CState& state) {
     if (hdr.body_len != ExpectedBody(state.inflight.front().object_id)) {
       ++bad_bodies_;
     }
+    if (hdr.trace_id != state.inflight.front().trace_id) {
+      ++trace_mismatches_;  // Proxy must echo the request's trace id (or 0).
+    }
     state.in_body = true;
     state.body_remaining = hdr.body_len;
   }
@@ -205,6 +217,14 @@ void ProxyClientGen::CompleteResponse(ConnId conn, CState& state) {
   ++completed_;
   if (measuring_) {
     latency_.Add(static_cast<double>(sim_->Now() - req.sent_at));
+  }
+  if (req.trace_id != 0) {
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      // Last body byte consumed: the trace is complete end-to-end. Finish
+      // appends the final net_response mark and folds the critical path.
+      ct->EndSpan(req.trace_id, req.root_span, sim_->Now());
+      ct->Finish(req.trace_id, sim_->Now());
+    }
   }
   const size_t quota = config_.total_connections > 0 ? config_.requests_per_connection : 0;
   if (quota > 0 && state.issued >= quota && state.inflight.empty() && retry_queue_.empty()) {
@@ -261,8 +281,14 @@ void ProxyClientGen::OnClosed(ConnId conn) {
 }
 
 void ProxyClientGen::RetryInflight(CState& state) {
+  CausalTracer* ct = CausalTracer::Current();
   for (const PendingReq& req : state.inflight) {
     ++retries_;
+    if (ct != nullptr && req.trace_id != 0) {
+      // The retry is a new logical attempt with a fresh request id; the
+      // original trace never completes, so retire it explicitly.
+      ct->Abandon(req.trace_id);
+    }
     retry_queue_.push_back(req.object_id);
   }
   state.inflight.clear();

@@ -24,7 +24,9 @@
 #include <unordered_set>
 
 #include "src/baseline/stack_iface.h"
+#include "src/proxy/proxy_wire.h"
 #include "src/sim/simulator.h"
+#include "src/trace/causal.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/zipf.h"
@@ -72,6 +74,9 @@ class ProxyClientGen : public AppHandler {
   uint64_t duplicates() const { return duplicates_; }
   uint64_t mismatches() const { return mismatches_; }
   uint64_t bad_bodies() const { return bad_bodies_; }
+  // Response carried a trace id that does not echo the request's (0 when
+  // tracing is off — untraced requests expect an untraced echo too).
+  uint64_t trace_mismatches() const { return trace_mismatches_; }
   double Throughput() const;  // Responses/sec since BeginMeasurement().
   const LatencyRecorder& latency() const { return latency_; }
 
@@ -87,6 +92,9 @@ class ProxyClientGen : public AppHandler {
     uint32_t object_id = 0;
     uint32_t request_id = 0;
     TimeNs sent_at = 0;
+    // Causal trace minted for this request (0 when tracing is off).
+    uint64_t trace_id = 0;
+    uint32_t root_span = 0;
   };
 
   struct CState {
@@ -96,7 +104,7 @@ class ProxyClientGen : public AppHandler {
     bool fin_sent = false;
     bool started = false;  // Past first_request_at gate.
     // Response parse state.
-    uint8_t header[12];
+    uint8_t header[kProxyResponseHeader];
     size_t header_have = 0;
     uint32_t body_remaining = 0;
     bool in_body = false;
@@ -130,6 +138,7 @@ class ProxyClientGen : public AppHandler {
   uint64_t duplicates_ = 0;
   uint64_t mismatches_ = 0;
   uint64_t bad_bodies_ = 0;
+  uint64_t trace_mismatches_ = 0;
   bool measuring_ = false;
   TimeNs measure_start_ = 0;
   uint64_t completed_at_measure_start_ = 0;

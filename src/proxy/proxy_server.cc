@@ -21,7 +21,7 @@ void ProxyServer::Start() {
   stack_->Listen(config_.listen_port);
   pool_.Start();
   if (spans_ != nullptr) {
-    spans_->SetTrackName(kProxyRequestTrack, "proxy-requests");
+    span_track_ = spans_->RegisterTrack("proxy-requests");
   }
 }
 
@@ -215,11 +215,20 @@ void ProxyServer::HandleClientData(ConnId conn, Client& client) {
     const ProxyRequest req = DecodeProxyRequest(client.inbuf.data() + off);
     off += kProxyRequestBytes;
     ++requests_;
+    CausalTracer* ct = req.trace_id != 0 ? CausalTracer::Current() : nullptr;
     Job job;
     job.id = next_job_id_++;
     job.object_id = req.object_id;
     job.request_id = req.request_id;
     job.started = sim_->Now();
+    job.ctx = TraceContext{req.trace_id, req.parent_span};
+    if (ct != nullptr) {
+      // Request crossed client -> proxy; job span parents under the client's
+      // root span carried on the wire.
+      ct->Mark(req.trace_id, CausalEdge::kNetRequest, sim_->Now());
+      job.span = ct->StartSpan(req.trace_id, req.parent_span, CausalSpanKind::kProxyJob,
+                               sim_->Now(), req.object_id, req.request_id);
+    }
     auto pf = pending_fetch_.find(req.object_id);
     if (pf != pending_fetch_.end()) {
       // Single-flight: a fetch for this object is already on its way to the
@@ -231,6 +240,7 @@ void ProxyServer::HandleClientData(ConnId conn, Client& client) {
         tracer_->Record(sim_->Now(), conn, FlowEventType::kProxyRequest, req.object_id,
                         req.request_id, 0);
       }
+      job.was_coalesced = true;
       const uint64_t job_id = job.id;
       client.jobs.push_back(std::move(job));
       pf->second.push_back(Waiter{conn, job_id});
@@ -244,19 +254,31 @@ void ProxyServer::HandleClientData(ConnId conn, Client& client) {
     }
     if (hit) {
       stack_->ChargeApp(conn, config_.hit_app_cycles);
+      if (ct != nullptr) {
+        // Zero-width at handler granularity: the charged lookup cycles defer
+        // downstream events and surface in the proxy_send edge instead.
+        ct->Mark(req.trace_id, CausalEdge::kCacheWork, sim_->Now());
+      }
       job.ready = true;
       job.path = Path::kHit;
       job.body_len = body_len;
       job.bytes.resize(kProxyResponseHeader + body_len);  // Zero-filled body.
-      EncodeProxyResponseHeader(job.bytes.data(),
-                                ProxyResponseHeader{kProxyStatusOk, req.request_id, body_len});
+      EncodeProxyResponseHeader(
+          job.bytes.data(),
+          ProxyResponseHeader{kProxyStatusOk, req.request_id, body_len, req.trace_id});
       client.jobs.push_back(std::move(job));
     } else {
       stack_->ChargeApp(conn, config_.miss_app_cycles);
+      uint32_t fetch_span = 0;
+      if (ct != nullptr) {
+        fetch_span = ct->StartSpan(req.trace_id, job.span, CausalSpanKind::kOriginFetch,
+                                   sim_->Now(), req.object_id, req.request_id);
+      }
       const uint64_t job_id = job.id;
       client.jobs.push_back(std::move(job));
       pending_fetch_.emplace(req.object_id, std::vector<Waiter>{});
-      pool_.Dispatch(OriginPool::Pending{req.object_id, req.request_id, conn, job_id});
+      pool_.Dispatch(OriginPool::Pending{req.object_id, req.request_id, conn, job_id,
+                                         req.trace_id, fetch_span});
     }
   }
   if (off > 0) {
@@ -326,7 +348,7 @@ void ProxyServer::HandleOriginData(ConnId conn) {
         ++discarded_responses_;
         if (rx.remaining == 0) {
           cache_.Insert(rx.object_id, 0);
-          ServeWaiters(rx.object_id, 0, nullptr);
+          ServeWaiters(rx.object_id, 0, nullptr, front->trace, front->span);
           pool_.PopFront(conn);
           continue;
         }
@@ -374,6 +396,14 @@ void ProxyServer::HandleOriginData(ConnId conn) {
         // Splice jobs are pumpable immediately: the header goes out from
         // job.bytes and splice_remaining keeps the job open until the body
         // has moved.
+        if (job->ctx.trace_id != 0) {
+          if (CausalTracer* ct = CausalTracer::Current()) {
+            // Header landed; body bytes stream through Splice from here, so
+            // origin_serve and proxy_send overlap for this class (the
+            // interval-ends-here chain stays exact; see DESIGN.md §12).
+            ct->Mark(job->ctx.trace_id, CausalEdge::kNetFromOrigin, sim_->Now());
+          }
+        }
         job->ready = true;
         job->splice = true;
         job->path = Path::kSplice;
@@ -388,9 +418,14 @@ void ProxyServer::HandleOriginData(ConnId conn) {
       }
       job->path = Path::kStore;
       if (rx.remaining == 0) {
+        if (job->ctx.trace_id != 0) {
+          if (CausalTracer* ct = CausalTracer::Current()) {
+            ct->Mark(job->ctx.trace_id, CausalEdge::kNetFromOrigin, sim_->Now());
+          }
+        }
         job->ready = true;
         cache_.Insert(rx.object_id, 0);
-        ServeWaiters(rx.object_id, 0, nullptr);
+        ServeWaiters(rx.object_id, 0, nullptr, front->trace, front->span);
         pool_.PopFront(conn);
         PumpClient(rx.client, *client);
         continue;
@@ -427,12 +462,22 @@ void ProxyServer::HandleOriginData(ConnId conn) {
         job = FindJob(*client, rx.job);
       }
       if (client != nullptr && job != nullptr) {
+        if (job->ctx.trace_id != 0) {
+          if (CausalTracer* ct = CausalTracer::Current()) {
+            ct->Mark(job->ctx.trace_id, CausalEdge::kNetFromOrigin, sim_->Now());
+          }
+        }
         job->bytes.insert(job->bytes.end(), rx.buf.begin(), rx.buf.end());
         job->ready = true;
       } else if (rx.client != kInvalidConn) {
         ++discarded_responses_;  // Primary died mid-body; waiters may remain.
       }
-      ServeWaiters(rx.object_id, rx.body_len, rx.buf.data());
+      {
+        OriginPool::Pending* front = pool_.Front(conn);
+        ServeWaiters(rx.object_id, rx.body_len, rx.buf.data(),
+                     front != nullptr ? front->trace : 0,
+                     front != nullptr ? front->span : 0);
+      }
       rx.buf.clear();
       rx.mode = OriginRx::Mode::kHeader;
       rx.cache_on_store = true;
@@ -545,14 +590,33 @@ void ProxyServer::FinishJob(ConnId conn, Client& client, Job& job) {
     tracer_->Record(sim_->Now(), conn, FlowEventType::kProxyResponse, job.request_id, body_len,
                     static_cast<uint64_t>(job.path));
   }
-  if (spans_ != nullptr) {
+  if (spans_ != nullptr && span_track_ >= 0) {
     static const char* kPathNames[] = {"proxy_hit", "proxy_store", "proxy_splice"};
-    spans_->Record(kProxyRequestTrack, kPathNames[static_cast<size_t>(job.path)], job.started,
+    spans_->Record(span_track_, kPathNames[static_cast<size_t>(job.path)], job.started,
                    sim_->Now());
+  }
+  if (job.ctx.trace_id != 0) {
+    if (CausalTracer* ct = CausalTracer::Current()) {
+      // Last response byte accepted by our stack: the proxy's work on this
+      // request is over. Class is decided here, once — how the response was
+      // finally produced.
+      ct->Mark(job.ctx.trace_id, CausalEdge::kProxySend, sim_->Now());
+      ct->EndSpan(job.ctx.trace_id, job.span, sim_->Now());
+      RequestClass cls = RequestClass::kHit;
+      if (job.was_coalesced) {
+        cls = RequestClass::kCoalesced;
+      } else if (job.path == Path::kStore) {
+        cls = RequestClass::kStore;
+      } else if (job.path == Path::kSplice) {
+        cls = RequestClass::kSplice;
+      }
+      ct->SetClass(job.ctx.trace_id, cls);
+    }
   }
 }
 
-void ProxyServer::ServeWaiters(uint32_t object_id, uint32_t body_len, const uint8_t* body) {
+void ProxyServer::ServeWaiters(uint32_t object_id, uint32_t body_len, const uint8_t* body,
+                               uint64_t src_trace, uint32_t src_span) {
   auto it = pending_fetch_.find(object_id);
   if (it == pending_fetch_.end()) {
     return;
@@ -568,11 +632,22 @@ void ProxyServer::ServeWaiters(uint32_t object_id, uint32_t body_len, const uint
     if (job == nullptr) {
       continue;
     }
+    if (job->ctx.trace_id != 0) {
+      if (CausalTracer* ct = CausalTracer::Current()) {
+        // The waiter's wall time since its last mark was spent parked on the
+        // primary's fetch; the cross-trace link draws the fan-out arrow.
+        ct->Mark(job->ctx.trace_id, CausalEdge::kCoalesceWait, sim_->Now());
+        if (src_trace != 0) {
+          ct->Link(src_trace, src_span, job->ctx.trace_id, job->span);
+        }
+      }
+    }
     job->path = Path::kStore;
     job->body_len = body_len;
     job->bytes.resize(kProxyResponseHeader + body_len);
-    EncodeProxyResponseHeader(job->bytes.data(),
-                              ProxyResponseHeader{kProxyStatusOk, job->request_id, body_len});
+    EncodeProxyResponseHeader(
+        job->bytes.data(),
+        ProxyResponseHeader{kProxyStatusOk, job->request_id, body_len, job->ctx.trace_id});
     if (body_len > 0) {
       std::copy(body, body + body_len, job->bytes.begin() + kProxyResponseHeader);
     }
@@ -597,7 +672,20 @@ void ProxyServer::FanOutWaiters(uint32_t object_id) {
     if (job == nullptr) {
       continue;
     }
-    pool_.Dispatch(OriginPool::Pending{object_id, job->request_id, w.client, w.job});
+    uint32_t fetch_span = 0;
+    if (job->ctx.trace_id != 0) {
+      if (CausalTracer* ct = CausalTracer::Current()) {
+        // Waited on the primary fetch until its header revealed a spliced
+        // body; from here the request runs its own fetch, so it is a store/
+        // splice class request that merely *started* coalesced.
+        ct->Mark(job->ctx.trace_id, CausalEdge::kCoalesceWait, sim_->Now());
+        fetch_span = ct->StartSpan(job->ctx.trace_id, job->span, CausalSpanKind::kOriginFetch,
+                                   sim_->Now(), object_id, job->request_id);
+      }
+    }
+    job->was_coalesced = false;
+    pool_.Dispatch(OriginPool::Pending{object_id, job->request_id, w.client, w.job,
+                                       job->ctx.trace_id, fetch_span});
   }
 }
 

@@ -28,6 +28,7 @@
 #include "src/proxy/object_cache.h"
 #include "src/proxy/origin_pool.h"
 #include "src/sim/simulator.h"
+#include "src/trace/causal.h"
 #include "src/trace/flow_tracer.h"
 #include "src/trace/metric_registry.h"
 #include "src/trace/tracer.h"
@@ -63,6 +64,7 @@ class ProxyServer : public AppHandler {
   const OriginPool& pool() const { return pool_; }
   uint64_t requests() const { return requests_; }
   uint64_t responses() const { return responses_; }
+  uint64_t coalesced_requests() const { return coalesced_requests_; }
   uint64_t spliced_bytes() const { return spliced_bytes_; }
   uint64_t aborted_clients() const { return aborted_clients_; }
   uint64_t mismatched_responses() const { return mismatched_responses_; }
@@ -93,6 +95,12 @@ class ProxyServer : public AppHandler {
     std::vector<uint8_t> bytes;  // Header (+ body for buffered jobs).
     size_t sent = 0;             // Bytes of `bytes` handed to the stack.
     TimeNs started = 0;
+    // Causal tracing (DESIGN.md §12): the request's TraceContext off the
+    // wire, this job's span, and whether the response came off someone
+    // else's fetch (class "coalesced"; FanOutWaiters resets the flag).
+    TraceContext ctx;
+    uint32_t span = 0;
+    bool was_coalesced = false;
   };
 
   struct Client {
@@ -128,7 +136,10 @@ class ProxyServer : public AppHandler {
   void HandleClientData(ConnId conn, Client& client);
   void HandleOriginData(ConnId conn);
   // Serves every waiter of `object_id` from `body` and retires the fetch.
-  void ServeWaiters(uint32_t object_id, uint32_t body_len, const uint8_t* body);
+  // `src_trace`/`src_span` identify the primary fetch that produced the body
+  // (Perfetto flow arrows between the primary and its waiters).
+  void ServeWaiters(uint32_t object_id, uint32_t body_len, const uint8_t* body,
+                    uint64_t src_trace, uint32_t src_span);
   // Splice-class object: waiters cannot share the spliced body — give each
   // its own origin fetch instead.
   void FanOutWaiters(uint32_t object_id);
@@ -153,6 +164,7 @@ class ProxyServer : public AppHandler {
   std::vector<uint8_t> scratch_;
   FlowTracer* tracer_ = nullptr;
   SpanRecorder* spans_ = nullptr;
+  int span_track_ = -1;  // Allocated from the SpanRecorder's TrackRegistry.
   uint64_t next_job_id_ = 1;
 
   uint64_t requests_ = 0;
@@ -166,9 +178,6 @@ class ProxyServer : public AppHandler {
   uint64_t aborted_clients_ = 0;      // Mid-splice origin death aborts.
   uint64_t mismatched_responses_ = 0;
 };
-
-// Track id for per-request spans (SpanRecorder).
-inline constexpr int kProxyRequestTrack = 40;
 
 }  // namespace tas
 

@@ -6,7 +6,17 @@
 // ones). Little-endian, like the kv_store format:
 //
 //   request:  [1B op][3B pad][4B object_id][4B request_id]
-//   response: [1B status][3B pad][4B request_id][4B body_len][body bytes]
+//             [8B trace_id][4B parent_span]
+//   response: [1B status][3B pad][4B request_id][4B body_len][8B trace_id]
+//             [body bytes]
+//
+// The trace fields carry the causal-tracing context (DESIGN.md §12): the
+// client mints a trace id per request and each tier parents its span under
+// `parent_span` (client root span on requests to the proxy; the proxy's
+// origin-fetch span on requests to the origin). Responses echo the trace id
+// so the client can verify it got the response to *its* request. Both
+// fields are 0 when tracing is off — the framing never changes, so enabling
+// tracing is timing-passive.
 //
 // Object bodies are synthetic (zero-filled); their size is a pure function
 // of the object id so every tier — origin, proxy cache, client verifier —
@@ -19,8 +29,8 @@
 
 namespace tas {
 
-inline constexpr size_t kProxyRequestBytes = 12;
-inline constexpr size_t kProxyResponseHeader = 12;
+inline constexpr size_t kProxyRequestBytes = 24;
+inline constexpr size_t kProxyResponseHeader = 20;
 
 inline constexpr uint8_t kProxyOpGet = 1;
 inline constexpr uint8_t kProxyStatusOk = 0;
@@ -31,10 +41,18 @@ inline uint32_t ProxyGetU32(const uint8_t* p) {
   std::memcpy(&v, p, sizeof(v));
   return v;
 }
+inline void ProxyPutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline uint64_t ProxyGetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
 
 struct ProxyRequest {
   uint32_t object_id = 0;
   uint32_t request_id = 0;
+  uint64_t trace_id = 0;     // 0 = untraced.
+  uint32_t parent_span = 0;  // Span the next tier parents under.
 };
 
 inline void EncodeProxyRequest(uint8_t* buf, const ProxyRequest& req) {
@@ -42,16 +60,20 @@ inline void EncodeProxyRequest(uint8_t* buf, const ProxyRequest& req) {
   buf[1] = buf[2] = buf[3] = 0;
   ProxyPutU32(buf + 4, req.object_id);
   ProxyPutU32(buf + 8, req.request_id);
+  ProxyPutU64(buf + 12, req.trace_id);
+  ProxyPutU32(buf + 20, req.parent_span);
 }
 
 inline ProxyRequest DecodeProxyRequest(const uint8_t* buf) {
-  return ProxyRequest{ProxyGetU32(buf + 4), ProxyGetU32(buf + 8)};
+  return ProxyRequest{ProxyGetU32(buf + 4), ProxyGetU32(buf + 8), ProxyGetU64(buf + 12),
+                      ProxyGetU32(buf + 20)};
 }
 
 struct ProxyResponseHeader {
   uint8_t status = kProxyStatusOk;
   uint32_t request_id = 0;
   uint32_t body_len = 0;
+  uint64_t trace_id = 0;  // Echo of the request's trace id.
 };
 
 inline void EncodeProxyResponseHeader(uint8_t* buf, const ProxyResponseHeader& h) {
@@ -59,10 +81,12 @@ inline void EncodeProxyResponseHeader(uint8_t* buf, const ProxyResponseHeader& h
   buf[1] = buf[2] = buf[3] = 0;
   ProxyPutU32(buf + 4, h.request_id);
   ProxyPutU32(buf + 8, h.body_len);
+  ProxyPutU64(buf + 12, h.trace_id);
 }
 
 inline ProxyResponseHeader DecodeProxyResponseHeader(const uint8_t* buf) {
-  return ProxyResponseHeader{buf[0], ProxyGetU32(buf + 4), ProxyGetU32(buf + 8)};
+  return ProxyResponseHeader{buf[0], ProxyGetU32(buf + 4), ProxyGetU32(buf + 8),
+                             ProxyGetU64(buf + 12)};
 }
 
 // Deterministic body size for an object id: `min_bytes` plus a Knuth-hash

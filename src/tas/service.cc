@@ -34,6 +34,13 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     LatencyTracer::Install(&tracer_->latency());
     latency_installed_ = true;
   }
+  if (config.trace.causal && CausalTracer::Current() == nullptr) {
+    // Same first-host-wins discipline for request-level causal tracing:
+    // requests cross the client/proxy/origin hosts, so one tracer observes
+    // every span and mark of the path.
+    CausalTracer::Install(&tracer_->causal());
+    causal_installed_ = true;
+  }
   NicConfig nic_config;
   nic_config.num_queues = config.max_fastpath_cores;
   nic_ = std::make_unique<SimNic>(sim, port, nic_config);
@@ -153,6 +160,23 @@ void TasService::RegisterTraceInstrumentation() {
     m.AddCounterFn("latency.partition_mismatches",
                    [lat] { return lat->partition_mismatches(); });
   }
+  if (config_.trace.causal) {
+    const CausalTracer* ct = &tracer_->causal();
+    m.AddCounterFn("causal.completed", [ct] { return ct->completed(); });
+    m.AddCounterFn("causal.abandoned", [ct] { return ct->abandoned(); });
+    m.AddCounterFn("causal.dropped", [ct] { return ct->dropped(); });
+    m.AddCounterFn("causal.stale", [ct] { return ct->stale(); });
+    m.AddCounterFn("causal.truncated", [ct] { return ct->truncated(); });
+    m.AddCounterFn("causal.critical_path_mismatches",
+                   [ct] { return ct->critical_path_mismatches(); });
+  }
+  // Ring-overflow visibility for every tracing surface: nonzero means the
+  // corresponding export files are missing their oldest records.
+  m.AddCounterFn("trace.dropped_spans", [this] { return tracer_->spans().dropped(); });
+  m.AddCounterFn("trace.dropped_records", [this] {
+    return tracer_->flow_events().overwritten() + tracer_->latency().overwritten() +
+           tracer_->causal().dropped();
+  });
   nic_->RegisterMetrics(&m, "nic");
   PacketPool::Current().RegisterMetrics(&m, "pktpool");
 
@@ -267,6 +291,9 @@ void TasService::RegisterTraceInstrumentation() {
 TasService::~TasService() {
   if (latency_installed_ && LatencyTracer::Current() == &tracer_->latency()) {
     LatencyTracer::Install(nullptr);
+  }
+  if (causal_installed_ && CausalTracer::Current() == &tracer_->causal()) {
+    CausalTracer::Install(nullptr);
   }
 }
 

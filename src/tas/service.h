@@ -198,6 +198,8 @@ class TasService {
   // True if this service installed its tracer's LatencyTracer as the global
   // stamp sink (first latency-enabled host); the dtor uninstalls it.
   bool latency_installed_ = false;
+  // Same for the global CausalTracer (request-level causal tracing).
+  bool causal_installed_ = false;
   TimeSeries* core_series_ = nullptr;  // Owned by tracer_->sampler().
   TasStats stats_;
   Rng rng_;

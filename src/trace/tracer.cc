@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/util/logging.h"
+
 namespace tas {
 namespace {
 
@@ -26,9 +28,22 @@ Tracer::Tracer(Simulator* sim, const TraceConfig& config)
       flow_events_(config.flow_event_capacity),
       sampler_(sim),
       spans_(config.span_capacity),
-      latency_(config.latency_ring_capacity) {
+      latency_(config.latency_ring_capacity),
+      causal_(config.causal_trace_capacity, config.causal_exemplars) {
   flow_events_.SetGlobal(config.flow_events);
   spans_.SetEnabled(config.cpu_spans);
+  if (config.causal) {
+    // Pre-register one track per retained exemplar slot so the slowest trace
+    // trees land on stable, named Perfetto tracks.
+    exemplar_tracks_.reserve(kNumRequestClasses * config.causal_exemplars);
+    for (int cls = 0; cls < kNumRequestClasses; ++cls) {
+      for (size_t i = 0; i < config.causal_exemplars; ++i) {
+        exemplar_tracks_.push_back(spans_.RegisterTrack(
+            "critpath-" + std::string(RequestClassName(static_cast<RequestClass>(cls))) + "-" +
+            std::to_string(i)));
+      }
+    }
+  }
 }
 
 void Tracer::WritePerfettoJson(std::ostream& os) const {
@@ -98,6 +113,108 @@ void Tracer::WritePerfettoJson(std::ostream& os) const {
     os << "}}";
   }
 
+  // Loss-recovery flow arrows: pair each retransmit with the first ACK that
+  // moves snd_una afterwards and draw an "s" -> "t" arrow across the
+  // recovery window (plus an "X" slice so the arrow endpoints have a slice
+  // to bind to). Only the FIRST unrecovered retransmit per flow is kept —
+  // later retransmits of the same loss episode extend the same window.
+  {
+    std::map<uint64_t, TimeNs> pending_retx;  // flow -> retransmit time.
+    uint64_t arrow_id = 1;
+    for (const FlowEvent& e : flow_events_.Events()) {
+      if (e.type == FlowEventType::kFastRetransmit ||
+          e.type == FlowEventType::kTimeoutRetransmit) {
+        pending_retx.emplace(e.flow, e.t);  // First retx of the episode wins.
+        continue;
+      }
+      if (e.type != FlowEventType::kAckRx || e.b == 0) {
+        continue;
+      }
+      auto it = pending_retx.find(e.flow);
+      if (it == pending_retx.end()) {
+        continue;
+      }
+      const TimeNs start = it->second;
+      pending_retx.erase(it);
+      const uint64_t track = kFlowTrackBase + e.flow;
+      sep();
+      os << "{\"name\":\"loss_recovery\",\"cat\":\"recovery\",\"ph\":\"X\",\"ts\":"
+         << TsUs(start) << ",\"dur\":" << TsUs(e.t - start) << ",\"pid\":" << kPid
+         << ",\"tid\":" << track << "}";
+      sep();
+      os << "{\"name\":\"retx_recovery\",\"cat\":\"recovery\",\"ph\":\"s\",\"id\":" << arrow_id
+         << ",\"ts\":" << TsUs(start) << ",\"pid\":" << kPid << ",\"tid\":" << track << "}";
+      sep();
+      os << "{\"name\":\"retx_recovery\",\"cat\":\"recovery\",\"ph\":\"t\",\"id\":" << arrow_id
+         << ",\"ts\":" << TsUs(e.t) << ",\"pid\":" << kPid << ",\"tid\":" << track << "}";
+      ++arrow_id;
+    }
+  }
+
+  // Exemplar trace trees (slowest requests per class) as nested "X" slices
+  // on their pre-registered tracks, with cross-trace coalescing links drawn
+  // as flow arrows when both endpoints were exported.
+  if (config_.causal && !exemplar_tracks_.empty()) {
+    std::map<uint64_t, size_t> exported;  // trace id -> exemplar track index.
+    for (int cls = 0; cls < kNumRequestClasses; ++cls) {
+      const auto& exs = causal_.exemplars(static_cast<RequestClass>(cls));
+      for (size_t i = 0; i < exs.size() && i < config_.causal_exemplars; ++i) {
+        const size_t slot = static_cast<size_t>(cls) * config_.causal_exemplars + i;
+        exported.emplace(exs[i].trace_id, slot);
+        const int track = exemplar_tracks_[slot];
+        for (const CausalSpan& span : exs[i].spans) {
+          // A span that was never closed (its tier died) renders to the
+          // trace end so the hole is visible rather than zero-width.
+          const TimeNs end = span.end != 0 ? span.end : exs[i].end;
+          sep();
+          os << "{\"name\":\"" << CausalSpanKindName(span.kind)
+             << "\",\"cat\":\"critpath\",\"ph\":\"X\",\"ts\":" << TsUs(span.start)
+             << ",\"dur\":" << TsUs(end - span.start) << ",\"pid\":" << kPid
+             << ",\"tid\":" << track << ",\"args\":{\"trace\":" << exs[i].trace_id
+             << ",\"span\":" << span.id << ",\"object\":" << span.object_id
+             << ",\"request\":" << span.request_id << (span.end == 0 ? ",\"open\":1" : "")
+             << "}}";
+        }
+        for (const CausalMark& mark : exs[i].marks) {
+          sep();
+          os << "{\"name\":\"" << CausalEdgeName(mark.edge)
+             << "\",\"cat\":\"critpath\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << TsUs(mark.t)
+             << ",\"pid\":" << kPid << ",\"tid\":" << track << "}";
+        }
+      }
+    }
+    uint64_t link_id = 1u << 20;  // Distinct id space from the retx arrows.
+    for (const auto& [trace_id, slot] : exported) {
+      const auto& exs =
+          causal_.exemplars(static_cast<RequestClass>(slot / config_.causal_exemplars));
+      const TraceExemplar& ex = exs[slot % config_.causal_exemplars];
+      for (const CausalLink& link : ex.links) {
+        auto from = exported.find(link.from_trace);
+        if (from == exported.end()) {
+          continue;  // Primary's trace was not retained; no arrow.
+        }
+        // The arrow fires when the primary fetch landed = the moment the
+        // waiter's coalesce_wait edge ended. Find that mark on the waiter.
+        TimeNs when = ex.end;
+        for (const CausalMark& mark : ex.marks) {
+          if (mark.edge == CausalEdge::kCoalesceWait) {
+            when = mark.t;
+            break;
+          }
+        }
+        sep();
+        os << "{\"name\":\"coalesced_from\",\"cat\":\"critpath\",\"ph\":\"s\",\"id\":" << link_id
+           << ",\"ts\":" << TsUs(when) << ",\"pid\":" << kPid
+           << ",\"tid\":" << exemplar_tracks_[from->second] << "}";
+        sep();
+        os << "{\"name\":\"coalesced_from\",\"cat\":\"critpath\",\"ph\":\"t\",\"id\":" << link_id
+           << ",\"ts\":" << TsUs(when) << ",\"pid\":" << kPid
+           << ",\"tid\":" << exemplar_tracks_[slot] << "}";
+        ++link_id;
+      }
+    }
+  }
+
   // Time series as counter ("C") tracks.
   for (const auto& series : sampler_.series()) {
     for (const auto& [t, v] : series->points()) {
@@ -136,6 +253,22 @@ bool Tracer::WriteAll(const std::string& prefix) const {
       return false;
     }
     os << latency_.Report().ToJson() << "\n";
+  }
+  if (config_.causal) {
+    std::ofstream os(prefix + ".critical_path.json");
+    if (!os) {
+      return false;
+    }
+    os << causal_.Report().ToJson() << "\n";
+  }
+  // A wrapped ring means the files above silently miss the oldest records —
+  // say so once per export instead of letting a reader chase ghosts.
+  const uint64_t lost_records =
+      flow_events_.overwritten() + latency_.overwritten() + causal_.dropped();
+  if (spans_.dropped() > 0 || lost_records > 0) {
+    TAS_LOG_WARN << "trace export truncated: " << spans_.dropped() << " spans dropped, "
+                 << lost_records
+                 << " records overwritten (raise the trace ring capacities to keep them)";
   }
   return true;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/sim/simulator.h"
+#include "src/trace/causal.h"
 #include "src/trace/flow_tracer.h"
 #include "src/trace/latency.h"
 #include "src/trace/metric_registry.h"
@@ -47,6 +48,12 @@ struct TraceConfig {
   // (packet journeys cross hosts, so one tracer observes the whole path).
   bool latency_stages = false;
   size_t latency_ring_capacity = 1u << 12;
+  // Request-level causal tracing (src/trace/causal, DESIGN.md §12). Install
+  // discipline mirrors latency_stages: the first causal-enabled TasService
+  // installs its CausalTracer process-wide.
+  bool causal = false;
+  size_t causal_trace_capacity = 1u << 13;
+  size_t causal_exemplars = 3;  // Slowest trace trees kept per request class.
 };
 
 // One contiguous busy interval on a track (track = simulated core id, or a
@@ -56,6 +63,28 @@ struct TraceSpan {
   const char* name = "";  // Must point at static storage.
   TimeNs start = 0;
   TimeNs end = 0;
+};
+
+// Allocates synthetic track ids for logical tracks (request spans, exemplar
+// trace trees, ...). Simulated core ids and the slow-path control track are
+// assigned statically below kFirstTrack, so registered tracks never collide
+// with them; every registered track gets thread-name metadata in the
+// Perfetto export.
+class TrackRegistry {
+ public:
+  static constexpr int kFirstTrack = 2000;
+
+  int Register(std::string name) {
+    const int track = next_track_++;
+    names_.emplace(track, std::move(name));
+    return track;
+  }
+
+  const std::map<int, std::string>& names() const { return names_; }
+
+ private:
+  int next_track_ = kFirstTrack;
+  std::map<int, std::string> names_;  // Ordered for deterministic export.
 };
 
 class SpanRecorder {
@@ -76,9 +105,19 @@ class SpanRecorder {
     spans_.push_back(TraceSpan{track, name, start, end});
   }
 
-  // Human-readable track label for the Perfetto thread-name metadata.
+  // Human-readable track label for the Perfetto thread-name metadata (static
+  // tracks: core ids, the slow-path control loop).
   void SetTrackName(int track, std::string name) { track_names_[track] = std::move(name); }
 
+  // Allocates a fresh synthetic track and names it. Use instead of a
+  // hardcoded track constant so logical tracks cannot collide.
+  int RegisterTrack(std::string name) {
+    const int track = registry_.Register(name);
+    track_names_[track] = std::move(name);
+    return track;
+  }
+
+  const TrackRegistry& registry() const { return registry_; }
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::map<int, std::string>& track_names() const { return track_names_; }
   uint64_t dropped() const { return dropped_; }
@@ -90,6 +129,7 @@ class SpanRecorder {
  private:
   bool enabled_ = false;
   size_t capacity_;
+  TrackRegistry registry_;
   std::vector<TraceSpan> spans_;
   std::map<int, std::string> track_names_;  // Ordered for deterministic export.
   uint64_t dropped_ = 0;
@@ -110,6 +150,8 @@ class Tracer {
   const SpanRecorder& spans() const { return spans_; }
   LatencyTracer& latency() { return latency_; }
   const LatencyTracer& latency() const { return latency_; }
+  CausalTracer& causal() { return causal_; }
+  const CausalTracer& causal() const { return causal_; }
 
   // --- Exporters ------------------------------------------------------------
   void WriteMetricsJsonl(std::ostream& os) const { metrics_.WriteJsonl(os); }
@@ -121,8 +163,10 @@ class Tracer {
 
   // Writes <prefix>.metrics.jsonl, <prefix>.flow_events.jsonl,
   // <prefix>.timeseries.jsonl and <prefix>.perfetto.json — plus
-  // <prefix>.latency.json when latency_stages is on. Returns false if any
-  // file could not be opened.
+  // <prefix>.latency.json when latency_stages is on and
+  // <prefix>.critical_path.json when causal is on. Warns (TAS_LOG) when any
+  // ring overflowed and the export is therefore truncated. Returns false if
+  // any file could not be opened.
   bool WriteAll(const std::string& prefix) const;
 
  private:
@@ -132,6 +176,9 @@ class Tracer {
   TimeSeriesSampler sampler_;
   SpanRecorder spans_;
   LatencyTracer latency_;
+  CausalTracer causal_;
+  // Track ids for exemplar trace trees, indexed cls * causal_exemplars + i.
+  std::vector<int> exemplar_tracks_;
 };
 
 // Registers the simulator's dispatch metrics (events executed, pending

@@ -1,0 +1,495 @@
+// Request-level causal tracing tests (DESIGN.md §12): span-tree assembly
+// (including orphaned spans), critical-path extraction and its partition
+// invariant, report JSON round-trips, the regression comparator, and
+// end-to-end trace collection across the client/proxy/origin rig — span
+// trees spanning hosts, coalesced-waiter fan-out links, same-seed
+// byte-identical reruns with tracing on, and tracing-off passivity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/proxy/origin_server.h"
+#include "src/proxy/proxy_client.h"
+#include "src/proxy/proxy_server.h"
+#include "src/trace/causal.h"
+
+namespace tas {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Span-tree assembly.
+
+CausalSpan MakeSpan(uint32_t id, uint32_t parent, CausalSpanKind kind) {
+  CausalSpan s;
+  s.id = id;
+  s.parent = parent;
+  s.kind = kind;
+  return s;
+}
+
+TEST(SpanTreeTest, AssemblesParentChildChain) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(MakeSpan(1, 0, CausalSpanKind::kRequest));
+  spans.push_back(MakeSpan(2, 1, CausalSpanKind::kProxyJob));
+  spans.push_back(MakeSpan(3, 2, CausalSpanKind::kOriginFetch));
+  spans.push_back(MakeSpan(4, 3, CausalSpanKind::kOriginServe));
+  const SpanTree tree = AssembleSpanTree(spans);
+  ASSERT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.orphans, 0u);
+  ASSERT_EQ(tree.nodes.size(), 4u);
+  ASSERT_EQ(tree.nodes[0].children.size(), 1u);
+  EXPECT_EQ(tree.nodes[0].children[0], 1u);
+  ASSERT_EQ(tree.nodes[1].children.size(), 1u);
+  EXPECT_EQ(tree.nodes[1].children[0], 2u);
+  ASSERT_EQ(tree.nodes[2].children.size(), 1u);
+  EXPECT_EQ(tree.nodes[2].children[0], 3u);
+  EXPECT_TRUE(tree.nodes[3].children.empty());
+}
+
+TEST(SpanTreeTest, SiblingsKeepInputOrder) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(MakeSpan(10, 0, CausalSpanKind::kRequest));
+  spans.push_back(MakeSpan(11, 10, CausalSpanKind::kProxyJob));
+  spans.push_back(MakeSpan(12, 10, CausalSpanKind::kProxyJob));
+  const SpanTree tree = AssembleSpanTree(spans);
+  ASSERT_EQ(tree.root, 0u);
+  ASSERT_EQ(tree.nodes[0].children.size(), 2u);
+  EXPECT_EQ(tree.nodes[0].children[0], 1u);
+  EXPECT_EQ(tree.nodes[0].children[1], 2u);
+}
+
+TEST(SpanTreeTest, MissingParentBecomesOrphanUnderRoot) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(MakeSpan(1, 0, CausalSpanKind::kRequest));
+  spans.push_back(MakeSpan(3, 99, CausalSpanKind::kOriginServe));  // 99 gone.
+  const SpanTree tree = AssembleSpanTree(spans);
+  ASSERT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.orphans, 1u);
+  ASSERT_EQ(tree.nodes[0].children.size(), 1u);
+  EXPECT_EQ(tree.nodes[0].children[0], 1u);
+  EXPECT_TRUE(tree.nodes[1].orphan);
+}
+
+TEST(SpanTreeTest, OrphanBeforeRootStillAttaches) {
+  std::vector<CausalSpan> spans;
+  spans.push_back(MakeSpan(5, 42, CausalSpanKind::kOriginFetch));  // Orphan first.
+  spans.push_back(MakeSpan(1, 0, CausalSpanKind::kRequest));
+  const SpanTree tree = AssembleSpanTree(spans);
+  ASSERT_EQ(tree.root, 1u);
+  EXPECT_EQ(tree.orphans, 1u);
+  ASSERT_EQ(tree.nodes[1].children.size(), 1u);
+  EXPECT_EQ(tree.nodes[1].children[0], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path extraction.
+
+TEST(CriticalPathTest, PartitionsEndToEndExactly) {
+  std::vector<CausalMark> marks;
+  marks.push_back(CausalMark{100, CausalEdge::kNetRequest});
+  marks.push_back(CausalMark{150, CausalEdge::kCacheWork});
+  marks.push_back(CausalMark{400, CausalEdge::kProxySend});
+  marks.push_back(CausalMark{500, CausalEdge::kNetResponse});
+  std::vector<CriticalPathEdge> out;
+  ASSERT_TRUE(ExtractCriticalPath(0, 500, marks, &out));
+  TimeNs sum = 0;
+  for (const CriticalPathEdge& e : out) {
+    sum += e.duration;
+  }
+  EXPECT_EQ(sum, 500);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].edge, CausalEdge::kNetRequest);
+  EXPECT_EQ(out[0].duration, 100);
+  EXPECT_EQ(out[3].edge, CausalEdge::kNetResponse);
+  EXPECT_EQ(out[3].duration, 100);
+}
+
+TEST(CriticalPathTest, RepeatedEdgesAccumulate) {
+  std::vector<CausalMark> marks;
+  marks.push_back(CausalMark{10, CausalEdge::kOverflowQueue});
+  marks.push_back(CausalMark{30, CausalEdge::kOriginQueue});
+  marks.push_back(CausalMark{60, CausalEdge::kOverflowQueue});  // Redispatch.
+  marks.push_back(CausalMark{100, CausalEdge::kNetResponse});
+  std::vector<CriticalPathEdge> out;
+  ASSERT_TRUE(ExtractCriticalPath(0, 100, marks, &out));
+  ASSERT_EQ(out.size(), 3u);  // overflow_queue folded into one row.
+  EXPECT_EQ(out[0].edge, CausalEdge::kOverflowQueue);
+  EXPECT_EQ(out[0].duration, 10 + 30);
+}
+
+TEST(CriticalPathTest, RejectsBrokenChains) {
+  std::vector<CriticalPathEdge> out;
+  EXPECT_FALSE(ExtractCriticalPath(0, 100, {}, &out));  // No marks.
+  std::vector<CausalMark> early;
+  early.push_back(CausalMark{50, CausalEdge::kNetRequest});
+  EXPECT_FALSE(ExtractCriticalPath(60, 100, early, &out));  // Before start.
+  std::vector<CausalMark> short_chain;
+  short_chain.push_back(CausalMark{50, CausalEdge::kNetResponse});
+  EXPECT_FALSE(ExtractCriticalPath(0, 100, short_chain, &out));  // Last != end.
+  std::vector<CausalMark> backwards;
+  backwards.push_back(CausalMark{80, CausalEdge::kNetRequest});
+  backwards.push_back(CausalMark{40, CausalEdge::kCacheWork});
+  backwards.push_back(CausalMark{100, CausalEdge::kNetResponse});
+  EXPECT_FALSE(ExtractCriticalPath(0, 100, backwards, &out));  // Non-monotone.
+}
+
+// ---------------------------------------------------------------------------
+// CausalTracer unit behavior.
+
+TEST(CausalTracerTest, FinishFoldsAndPartitions) {
+  CausalTracer tracer(1u << 4);
+  const uint64_t t = tracer.BeginTrace(1000);
+  const uint32_t root = tracer.StartSpan(t, 0, CausalSpanKind::kRequest, 1000);
+  ASSERT_NE(root, 0u);
+  tracer.Mark(t, CausalEdge::kNetRequest, 1200);
+  const uint32_t job = tracer.StartSpan(t, root, CausalSpanKind::kProxyJob, 1200);
+  ASSERT_NE(job, 0u);
+  tracer.Mark(t, CausalEdge::kCacheWork, 1250);
+  tracer.Mark(t, CausalEdge::kProxySend, 1400);
+  tracer.EndSpan(t, job, 1400);
+  tracer.SetClass(t, RequestClass::kHit);
+  tracer.EndSpan(t, root, 1600);
+  tracer.Finish(t, 1600);
+
+  EXPECT_EQ(tracer.completed(), 1u);
+  EXPECT_EQ(tracer.critical_path_mismatches(), 0u);
+  EXPECT_EQ(tracer.e2e_stats(RequestClass::kHit).count(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.e2e_stats(RequestClass::kHit).mean(), 600.0);
+  // net_request 200 + cache_work 50 + proxy_send 150 + net_response 200.
+  EXPECT_DOUBLE_EQ(tracer.edge_stats(RequestClass::kHit, CausalEdge::kNetRequest).mean(), 200.0);
+  EXPECT_DOUBLE_EQ(tracer.edge_stats(RequestClass::kHit, CausalEdge::kNetResponse).mean(),
+                   200.0);
+  ASSERT_EQ(tracer.exemplars(RequestClass::kHit).size(), 1u);
+  const TraceExemplar& ex = tracer.exemplars(RequestClass::kHit)[0];
+  EXPECT_EQ(ex.trace_id, t);
+  EXPECT_EQ(ex.spans.size(), 2u);
+  const SpanTree tree = AssembleSpanTree(ex.spans);
+  EXPECT_EQ(tree.orphans, 0u);
+  EXPECT_EQ(tree.root, 0u);
+}
+
+TEST(CausalTracerTest, MissingClassCountsAsMismatch) {
+  CausalTracer tracer(1u << 4);
+  const uint64_t t = tracer.BeginTrace(0);
+  tracer.Mark(t, CausalEdge::kNetResponse, 100);
+  tracer.Finish(t, 100);  // No SetClass.
+  EXPECT_EQ(tracer.critical_path_mismatches(), 1u);
+}
+
+TEST(CausalTracerTest, StaleAndAbandonedTracesAreSafe) {
+  CausalTracer tracer(1u << 4);
+  const uint64_t t = tracer.BeginTrace(0);
+  tracer.Abandon(t);
+  EXPECT_EQ(tracer.abandoned(), 1u);
+  tracer.Mark(t, CausalEdge::kNetRequest, 50);  // Late stamp on a dead trace.
+  tracer.EndSpan(t, 1, 60);
+  tracer.Finish(t, 70);
+  EXPECT_EQ(tracer.completed(), 0u);
+  EXPECT_GT(tracer.stale(), 0u);
+}
+
+TEST(CausalTracerTest, RingOverwriteDropsOldestLiveTrace) {
+  CausalTracer tracer(1u << 2);  // 4 slots.
+  const uint64_t first = tracer.BeginTrace(0);
+  for (int i = 0; i < 4; ++i) {
+    tracer.BeginTrace(0);  // Wraps onto `first`'s slot.
+  }
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.Mark(first, CausalEdge::kNetRequest, 10);
+  EXPECT_GT(tracer.stale(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Report JSON round-trip and the regression comparator.
+
+CriticalPathReport TwoClassReport() {
+  CausalTracer tracer(1u << 4);
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t t = tracer.BeginTrace(i * 1000);
+    tracer.Mark(t, CausalEdge::kNetRequest, i * 1000 + 100);
+    tracer.Mark(t, CausalEdge::kOriginQueue, i * 1000 + 300 + i);
+    tracer.Mark(t, CausalEdge::kProxySend, i * 1000 + 400 + i);
+    tracer.SetClass(t, i % 2 == 0 ? RequestClass::kHit : RequestClass::kStore);
+    tracer.Finish(t, i * 1000 + 500 + i);
+  }
+  return tracer.Report();
+}
+
+TEST(CriticalPathReportTest, JsonRoundTripPreservesRows) {
+  const CriticalPathReport report = TwoClassReport();
+  bool ok = false;
+  const CriticalPathReport parsed = ParseCriticalPathReportJson(report.ToJson(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(parsed.classes.size(), report.classes.size());
+  for (size_t c = 0; c < report.classes.size(); ++c) {
+    EXPECT_EQ(parsed.classes[c].request_class, report.classes[c].request_class);
+    EXPECT_EQ(parsed.classes[c].count, report.classes[c].count);
+    ASSERT_EQ(parsed.classes[c].edges.size(), report.classes[c].edges.size());
+    for (size_t e = 0; e < report.classes[c].edges.size(); ++e) {
+      EXPECT_EQ(parsed.classes[c].edges[e].edge, report.classes[c].edges[e].edge);
+      EXPECT_EQ(parsed.classes[c].edges[e].count, report.classes[c].edges[e].count);
+      EXPECT_EQ(parsed.classes[c].edges[e].p99_ns, report.classes[c].edges[e].p99_ns);
+      EXPECT_NEAR(parsed.classes[c].edges[e].mean_ns, report.classes[c].edges[e].mean_ns, 0.5);
+    }
+  }
+  bool bad_ok = true;
+  ParseCriticalPathReportJson("not json", &bad_ok);
+  EXPECT_FALSE(bad_ok);
+}
+
+TEST(CriticalPathGateTest, IdenticalReportsPassPerturbedOriginQueueFails) {
+  const CriticalPathReport baseline = TwoClassReport();
+  EXPECT_TRUE(CompareCriticalPathReports(baseline, baseline, 0.15, 10).empty());
+
+  // Inject a +20% origin-queue perturbation: the gate must trip on it.
+  CriticalPathReport perturbed = baseline;
+  for (CriticalPathClassSummary& cls : perturbed.classes) {
+    for (CriticalPathEdgeSummary& edge : cls.edges) {
+      if (edge.edge == "origin_queue") {
+        edge.mean_ns *= 1.20;
+        edge.p99_ns = static_cast<uint64_t>(static_cast<double>(edge.p99_ns) * 1.20);
+      }
+    }
+  }
+  const auto regressions = CompareCriticalPathReports(baseline, perturbed, 0.15, 10);
+  ASSERT_FALSE(regressions.empty());
+  for (const CriticalPathRegression& r : regressions) {
+    EXPECT_EQ(r.edge, "origin_queue");
+    EXPECT_GT(r.ratio, 1.15);
+  }
+  // Improvements pass: compare the perturbed baseline against the original.
+  EXPECT_TRUE(CompareCriticalPathReports(perturbed, baseline, 0.15, 10).empty());
+}
+
+TEST(CriticalPathGateTest, VanishedClassIsAViolation) {
+  const CriticalPathReport baseline = TwoClassReport();
+  CriticalPathReport current = baseline;
+  current.classes.erase(current.classes.begin());  // Drop "hit".
+  const auto regressions = CompareCriticalPathReports(baseline, current, 0.15, 10);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].request_class, "hit");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the proxy rig with causal tracing across three hosts.
+
+LinkConfig TestLink() {
+  LinkConfig link;
+  link.gbps = 10.0;
+  link.propagation_delay = Us(2);
+  link.queue_limit_pkts = 256;
+  link.rng_seed = 42;
+  return link;
+}
+
+HostSpec TasSpec(bool causal) {
+  HostSpec spec;
+  spec.stack = StackKind::kTas;
+  // Pin the TAS config explicitly (tas_overridden skips the harness's
+  // stack_cores/ghz defaults) so the causal on/off runs differ ONLY in the
+  // tracing flag — the timing-passivity test depends on it.
+  spec.tas.max_fastpath_cores = 2;
+  spec.tas.core_ghz = spec.ghz;
+  spec.tas.trace.causal = causal;
+  spec.tas_overridden = true;
+  return spec;
+}
+
+struct ProxyRig {
+  std::unique_ptr<Experiment> exp;
+  std::unique_ptr<ProxyServer> proxy;
+  std::unique_ptr<OriginServer> origin;
+  std::unique_ptr<ProxyClientGen> clients;
+};
+
+ProxyRig MakeRig(ProxyServerConfig proxy_cfg, OriginServerConfig origin_cfg,
+                 ProxyClientConfig client_cfg, bool causal) {
+  ProxyRig rig;
+  rig.exp = Experiment::Star({TasSpec(causal), TasSpec(false), TasSpec(false)}, {TestLink()});
+  proxy_cfg.pool.origin_ip = rig.exp->host(1).ip();
+  proxy_cfg.pool.origin_port = origin_cfg.port;
+  client_cfg.proxy_ip = rig.exp->host(0).ip();
+  client_cfg.proxy_port = proxy_cfg.listen_port;
+  client_cfg.min_body_bytes = origin_cfg.min_body_bytes;
+  client_cfg.body_spread = origin_cfg.body_spread;
+  rig.proxy = std::make_unique<ProxyServer>(&rig.exp->sim(), rig.exp->host(0).stack(), proxy_cfg);
+  rig.origin =
+      std::make_unique<OriginServer>(&rig.exp->sim(), rig.exp->host(1).stack(), origin_cfg);
+  rig.clients =
+      std::make_unique<ProxyClientGen>(&rig.exp->sim(), rig.exp->host(2).stack(), client_cfg);
+  rig.origin->Start();
+  rig.proxy->Start();
+  rig.clients->Start();
+  return rig;
+}
+
+bool RunUntilCompleted(ProxyRig& rig, uint64_t target, TimeNs deadline) {
+  while (rig.exp->sim().Now() < deadline && rig.clients->completed() < target) {
+    rig.exp->sim().RunUntil(rig.exp->sim().Now() + Ms(10));
+  }
+  return rig.clients->completed() >= target;
+}
+
+// Mixed workload: small universe for hits, bodies straddling splice_min_body
+// for store + splice, concurrency for coalescing on cold objects.
+ProxyRig MixedRig(bool causal) {
+  ProxyServerConfig proxy_cfg;
+  proxy_cfg.cache_bytes = 1 << 20;
+  proxy_cfg.splice_min_body = 1024;
+  OriginServerConfig origin_cfg;
+  origin_cfg.min_body_bytes = 64;
+  origin_cfg.body_spread = 2048;
+  ProxyClientConfig client_cfg;
+  client_cfg.concurrency = 8;
+  client_cfg.pipeline_depth = 4;
+  client_cfg.num_objects = 64;
+  client_cfg.zipf_skew = 0.9;
+  return MakeRig(proxy_cfg, origin_cfg, client_cfg, causal);
+}
+
+TEST(CausalE2eTest, TracesPartitionAndSpanHosts) {
+  ProxyRig rig = MixedRig(/*causal=*/true);
+  ASSERT_TRUE(RunUntilCompleted(rig, 500, Sec(10)));
+
+  const CausalTracer& ct = rig.exp->host(0).tas()->tracer().causal();
+  EXPECT_GE(ct.completed(), 500u);
+  EXPECT_EQ(ct.critical_path_mismatches(), 0u);
+  EXPECT_EQ(ct.dropped(), 0u);
+  EXPECT_EQ(ct.truncated(), 0u);
+  EXPECT_EQ(rig.clients->trace_mismatches(), 0u);
+
+  const CriticalPathReport report = ct.Report();
+  ASSERT_NE(report.Find("hit"), nullptr);
+  ASSERT_NE(report.Find("store"), nullptr);
+  ASSERT_NE(report.Find("splice"), nullptr);
+  // Every class partitions: the e2e row's share column is exactly 1 summed
+  // over edges (verified inside Finish; here check the report shape).
+  for (const CriticalPathClassSummary& cls : report.classes) {
+    ASSERT_FALSE(cls.edges.empty());
+    EXPECT_EQ(cls.edges[0].edge, "e2e");
+    double share_sum = 0;
+    for (size_t e = 1; e < cls.edges.size(); ++e) {
+      share_sum += cls.edges[e].share;
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-6);
+  }
+
+  // A store-class exemplar's span tree spans all three tiers: client request
+  // root, proxy job, origin fetch, origin serve — with no orphans.
+  ASSERT_FALSE(ct.exemplars(RequestClass::kStore).empty());
+  const TraceExemplar& ex = ct.exemplars(RequestClass::kStore)[0];
+  const SpanTree tree = AssembleSpanTree(ex.spans);
+  EXPECT_EQ(tree.orphans, 0u);
+  ASSERT_NE(tree.root, SIZE_MAX);
+  EXPECT_EQ(ex.spans[tree.root].kind, CausalSpanKind::kRequest);
+  bool saw_job = false;
+  bool saw_fetch = false;
+  bool saw_serve = false;
+  for (const CausalSpan& span : ex.spans) {
+    saw_job |= span.kind == CausalSpanKind::kProxyJob;
+    saw_fetch |= span.kind == CausalSpanKind::kOriginFetch;
+    saw_serve |= span.kind == CausalSpanKind::kOriginServe;
+    if (span.kind != CausalSpanKind::kRequest) {
+      EXPECT_NE(span.parent, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_fetch);
+  EXPECT_TRUE(saw_serve);
+}
+
+TEST(CausalE2eTest, CoalescedWaitersLinkToPrimaryFetch) {
+  // Hammer a tiny cold universe so concurrent misses coalesce.
+  ProxyServerConfig proxy_cfg;
+  proxy_cfg.cache_bytes = 1 << 20;
+  proxy_cfg.splice_min_body = 0xFFFFFFFFu;  // Store path; waiters share bodies.
+  OriginServerConfig origin_cfg;
+  origin_cfg.min_body_bytes = 512;
+  origin_cfg.body_spread = 512;
+  origin_cfg.app_cycles_per_request = 20000;  // Slow origin widens the window.
+  ProxyClientConfig client_cfg;
+  client_cfg.concurrency = 16;
+  client_cfg.pipeline_depth = 4;
+  client_cfg.num_objects = 4;
+  client_cfg.connect_spread = Us(50);
+  ProxyRig rig = MakeRig(proxy_cfg, origin_cfg, client_cfg, /*causal=*/true);
+  ASSERT_TRUE(RunUntilCompleted(rig, 200, Sec(10)));
+
+  ASSERT_GT(rig.proxy->coalesced_requests(), 0u);
+  const CausalTracer& ct = rig.exp->host(0).tas()->tracer().causal();
+  EXPECT_EQ(ct.critical_path_mismatches(), 0u);
+  const CriticalPathReport report = ct.Report();
+  const CriticalPathClassSummary* coalesced = report.Find("coalesced");
+  ASSERT_NE(coalesced, nullptr);
+  EXPECT_GT(coalesced->count, 0u);
+  // The coalesce_wait edge carries the time parked on the primary fetch.
+  ASSERT_NE(coalesced->Find("coalesce_wait"), nullptr);
+  EXPECT_GT(coalesced->Find("coalesce_wait")->count, 0u);
+  // Fan-out trees: every coalesced exemplar records the cross-trace link to
+  // the primary fetch that produced its body.
+  ASSERT_FALSE(ct.exemplars(RequestClass::kCoalesced).empty());
+  for (const TraceExemplar& ex : ct.exemplars(RequestClass::kCoalesced)) {
+    ASSERT_FALSE(ex.links.empty());
+    EXPECT_NE(ex.links[0].from_trace, 0u);
+    EXPECT_NE(ex.links[0].from_trace, ex.trace_id);
+  }
+}
+
+// Same seed + tracing on => byte-identical reports and identical timing.
+TEST(CausalE2eTest, SameSeedRerunIsByteIdentical) {
+  std::string first_json;
+  std::string second_json;
+  uint64_t first_completed = 0;
+  uint64_t second_completed = 0;
+  TimeNs first_now = 0;
+  TimeNs second_now = 0;
+  {
+    ProxyRig rig = MixedRig(/*causal=*/true);
+    ASSERT_TRUE(RunUntilCompleted(rig, 400, Sec(10)));
+    first_json = rig.exp->host(0).tas()->tracer().causal().Report().ToJson();
+    first_completed = rig.clients->completed();
+    first_now = rig.exp->sim().Now();
+  }
+  {
+    ProxyRig rig = MixedRig(/*causal=*/true);
+    ASSERT_TRUE(RunUntilCompleted(rig, 400, Sec(10)));
+    second_json = rig.exp->host(0).tas()->tracer().causal().Report().ToJson();
+    second_completed = rig.clients->completed();
+    second_now = rig.exp->sim().Now();
+  }
+  EXPECT_EQ(first_json, second_json);
+  EXPECT_EQ(first_completed, second_completed);
+  EXPECT_EQ(first_now, second_now);
+}
+
+// Tracing off must not change behavior or timing: trace fields ride the wire
+// as zeros either way, so the two runs see identical event sequences.
+TEST(CausalE2eTest, TracingIsTimingPassive) {
+  uint64_t on_completed = 0;
+  uint64_t off_completed = 0;
+  TimeNs on_now = 0;
+  TimeNs off_now = 0;
+  {
+    ProxyRig rig = MixedRig(/*causal=*/true);
+    ASSERT_TRUE(RunUntilCompleted(rig, 400, Sec(10)));
+    on_completed = rig.clients->completed();
+    on_now = rig.exp->sim().Now();
+    EXPECT_GT(rig.exp->host(0).tas()->tracer().causal().completed(), 0u);
+  }
+  {
+    ProxyRig rig = MixedRig(/*causal=*/false);
+    ASSERT_TRUE(RunUntilCompleted(rig, 400, Sec(10)));
+    off_completed = rig.clients->completed();
+    off_now = rig.exp->sim().Now();
+    // No tracer installed: nothing was traced, and nothing was echoed.
+    EXPECT_EQ(rig.clients->trace_mismatches(), 0u);
+  }
+  EXPECT_EQ(on_completed, off_completed);
+  EXPECT_EQ(on_now, off_now);
+}
+
+}  // namespace
+}  // namespace tas
