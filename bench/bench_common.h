@@ -124,7 +124,7 @@ inline EchoRunResult RunEcho(EchoRunConfig config) {
   server_config.response_bytes = config.response_bytes;
   server_config.app_cycles = config.server_app_cycles;
   server_config.mode = config.mode;
-  EchoServer server(&exp->sim(), exp->host(0).stack(), server_config);
+  EchoServer server(exp->host_sim(0), exp->host(0).stack(), server_config);
   server.Start();
 
   std::vector<std::unique_ptr<EchoClient>> clients;
@@ -144,7 +144,7 @@ inline EchoRunResult RunEcho(EchoRunConfig config) {
     // measurement starts.
     client_config.first_request_at = config.warmup - Ms(2);
     clients.push_back(std::make_unique<EchoClient>(
-        &exp->sim(), exp->host(1 + i).stack(), client_config));
+        exp->host_sim(1 + i), exp->host(1 + i).stack(), client_config));
     clients.back()->Start();
   }
 
@@ -229,10 +229,11 @@ inline KvRunResult RunKv(KvRunConfig config) {
   server_config.contended = config.contended;
   std::unique_ptr<Core> lock_core;
   if (config.contended) {
-    lock_core = std::make_unique<Core>(&exp->sim(), 9000, 2.1);
+    // The lock lives on the server host's island (host 0 touches it).
+    lock_core = std::make_unique<Core>(exp->host_sim(0), 9000, 2.1);
     server_config.lock_core = lock_core.get();
   }
-  KvServer server(&exp->sim(), exp->host(0).stack(), server_config);
+  KvServer server(exp->host_sim(0), exp->host(0).stack(), server_config);
   server.Start();
 
   std::vector<std::unique_ptr<KvClient>> clients;
@@ -249,7 +250,7 @@ inline KvRunResult RunKv(KvRunConfig config) {
     cc.connect_spread = config.warmup * 3 / 4;
     cc.first_request_at = config.warmup - Ms(2);
     clients.push_back(
-        std::make_unique<KvClient>(&exp->sim(), exp->host(1 + i).stack(), cc));
+        std::make_unique<KvClient>(exp->host_sim(1 + i), exp->host(1 + i).stack(), cc));
     clients.back()->Start();
   }
 

@@ -56,6 +56,7 @@ constexpr double kPostPr3Retransmits = 0;
 
 struct SmokeResult {
   uint64_t events = 0;
+  int sim_threads = 1;  // Resolved executor width (TAS_SIM_THREADS).
   double wall_sec = 0;
   double ops = 0;
   uint64_t ops_count = 0;     // Completed echo operations in the window.
@@ -101,7 +102,7 @@ SmokeResult RunSmoke() {
   server_config.request_bytes = kMessageBytes;
   server_config.response_bytes = kMessageBytes;
   server_config.app_cycles = 250;
-  EchoServer server(&exp->sim(), exp->host(0).stack(), server_config);
+  EchoServer server(exp->host_sim(0), exp->host(0).stack(), server_config);
   server.Start();
 
   std::vector<std::unique_ptr<EchoClient>> clients;
@@ -114,7 +115,7 @@ SmokeResult RunSmoke() {
     cc.pipeline_depth = 16;
     cc.connect_spread = warmup * 3 / 4;
     cc.first_request_at = warmup - Ms(2);
-    clients.push_back(std::make_unique<EchoClient>(&exp->sim(), exp->host(1 + i).stack(), cc));
+    clients.push_back(std::make_unique<EchoClient>(exp->host_sim(1 + i), exp->host(1 + i).stack(), cc));
     clients.back()->Start();
   }
 
@@ -126,13 +127,14 @@ SmokeResult RunSmoke() {
   }
   SimNic* server_nic = exp->host(0).tas()->nic();
   const uint64_t pkts_before = server_nic->rx_packets() + server_nic->tx_packets();
-  const uint64_t events_before = exp->sim().events_executed();
+  const uint64_t events_before = exp->events_executed();
   const auto start = std::chrono::steady_clock::now();
   exp->sim().RunUntil(warmup + measure);
   const auto end = std::chrono::steady_clock::now();
 
   SmokeResult result;
-  result.events = exp->sim().events_executed() - events_before;
+  result.events = exp->events_executed() - events_before;
+  result.sim_threads = exp->sim_threads();
   result.wall_sec = std::chrono::duration<double>(end - start).count();
   for (auto& client : clients) {
     result.ops += client->Throughput();
@@ -149,11 +151,18 @@ SmokeResult RunSmoke() {
   result.retransmits_handshake = stats.handshake_retransmits;
   result.server_rx_drops = server_nic->rx_drops() + stats.rx_buffer_drops;
   result.median_us = clients[0]->latency().Median();
-  result.cancelled = exp->sim().cancelled_events();
-  result.cancelled_popped = exp->sim().cancelled_popped();
-  result.max_pending = exp->sim().max_pending_events();
-  result.event_nodes = exp->sim().event_nodes_total();
-  result.pool = exp->packet_pool().stats();
+  if (SimPartition* partition = exp->partition()) {
+    result.cancelled = partition->cancelled_events();
+    result.cancelled_popped = partition->cancelled_popped();
+    result.max_pending = partition->max_pending_events();
+    result.event_nodes = partition->event_nodes_total();
+  } else {
+    result.cancelled = exp->sim().cancelled_events();
+    result.cancelled_popped = exp->sim().cancelled_popped();
+    result.max_pending = exp->sim().max_pending_events();
+    result.event_nodes = exp->sim().event_nodes_total();
+  }
+  result.pool = exp->pool_stats();
   if (LatencyEnabled()) {
     result.latency_json = exp->host(0).tas()->tracer().latency().Report().ToJson();
   }
@@ -172,7 +181,8 @@ void Run() {
 
   const SmokeResult r = RunSmoke();
   const double events_per_sec = static_cast<double>(r.events) / r.wall_sec;
-  const double ns_per_event = r.wall_sec * 1e9 / static_cast<double>(r.events);
+  const double ns_per_event =
+      r.events > 0 ? r.wall_sec * 1e9 / static_cast<double>(r.events) : 0;
   const double events_per_packet =
       r.packets > 0 ? static_cast<double>(r.events) / static_cast<double>(r.packets) : 0;
   const double speedup = kPreChangeWallSec / r.wall_sec;
@@ -182,6 +192,7 @@ void Run() {
 
   TablePrinter table({"Metric", "Value"});
   table.AddRow("events dispatched", r.events);
+  table.AddRow("sim threads", r.sim_threads);
   table.AddRow("wall seconds", Fmt(r.wall_sec, 3));
   table.AddRow("events/sec", Fmt(events_per_sec / 1e6, 2) + "M");
   table.AddRow("wall ns/event", Fmt(ns_per_event, 1));
@@ -207,7 +218,9 @@ void Run() {
             << "\"benchmark\":\"perf_smoke\""
             << ",\"workload\":\"fig6_pipelined_64b_d16\""
             << ",\"events\":" << r.events
+            << ",\"sim_threads\":" << r.sim_threads
             << ",\"wall_sec\":" << r.wall_sec
+            << ",\"wall_ns\":" << static_cast<uint64_t>(r.wall_sec * 1e9)
             << ",\"events_per_sec\":" << events_per_sec
             << ",\"wall_ns_per_event\":" << ns_per_event
             << ",\"server_packets\":" << r.packets

@@ -21,6 +21,7 @@
 // Emits one machine-readable line (PROXY_CYCLES_JSON) so CI can archive the
 // trajectory next to PERF_SMOKE_JSON; see EXPERIMENTS.md.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -87,11 +88,11 @@ Rig MakeRig(ProxyServerConfig proxy_cfg, OriginServerConfig origin_cfg,
   client_cfg.proxy_port = proxy_cfg.listen_port;
   client_cfg.min_body_bytes = origin_cfg.min_body_bytes;
   client_cfg.body_spread = origin_cfg.body_spread;
-  rig.proxy = std::make_unique<ProxyServer>(&rig.exp->sim(), rig.exp->host(0).stack(), proxy_cfg);
+  rig.proxy = std::make_unique<ProxyServer>(rig.exp->host_sim(0), rig.exp->host(0).stack(), proxy_cfg);
   rig.origin =
-      std::make_unique<OriginServer>(&rig.exp->sim(), rig.exp->host(1).stack(), origin_cfg);
+      std::make_unique<OriginServer>(rig.exp->host_sim(1), rig.exp->host(1).stack(), origin_cfg);
   rig.clients =
-      std::make_unique<ProxyClientGen>(&rig.exp->sim(), rig.exp->host(2).stack(), client_cfg);
+      std::make_unique<ProxyClientGen>(rig.exp->host_sim(2), rig.exp->host(2).stack(), client_cfg);
   rig.origin->Start();
   rig.proxy->Start();
   rig.clients->Start();
@@ -222,6 +223,8 @@ struct ChurnResult {
   double p50_us = 0;
   double p99_us = 0;
   TimeNs finished_at = 0;
+  uint64_t wall_ns = 0;  // Host wall clock spent in the churn loop.
+  int sim_threads = 1;   // Resolved executor width (TAS_SIM_THREADS).
   bool drained = false;
 };
 
@@ -255,9 +258,15 @@ ChurnResult RunChurn(double alpha) {
   result.alpha = alpha;
   result.target = cc.total_connections * cc.requests_per_connection;
   const TimeNs deadline = Sec(300);
+  const auto wall_start = std::chrono::steady_clock::now();
   while (rig.exp->sim().Now() < deadline && rig.clients->completed() < result.target) {
     rig.exp->sim().RunUntil(rig.exp->sim().Now() + Ms(10));
   }
+  result.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  result.sim_threads = rig.exp->sim_threads();
   result.drained = rig.clients->completed() >= result.target;
   result.completed = rig.clients->completed();
   result.issued = rig.clients->issued();
@@ -417,8 +426,14 @@ int Run() {
 
   // One line, machine readable; CI greps for the prefix and archives it.
   std::ostringstream json;
+  uint64_t total_wall_ns = 0;
+  for (const ChurnResult& c : churn) {
+    total_wall_ns += c.wall_ns;
+  }
   json << "PROXY_CYCLES_JSON {"
        << "\"benchmark\":\"proxy_cycles\""
+       << ",\"sim_threads\":" << churn[0].sim_threads
+       << ",\"wall_ns\":" << total_wall_ns
        << ",\"body_min\":" << kMinBody << ",\"body_spread\":" << kBodySpread
        << ",\"deterministic\":" << (deterministic ? "true" : "false");
   const PathResult* paths[] = {&hit, &store, &splice};
@@ -447,6 +462,7 @@ int Run() {
          << ",\"partition_mismatches\":" << c.partition_mismatches
          << ",\"causal_completed\":" << c.causal_completed
          << ",\"causal_mismatches\":" << c.causal_mismatches
+         << ",\"wall_ns\":" << c.wall_ns
          << ",\"sim_ms\":" << c.finished_at / 1000000 << "}";
   }
   json << "],\"gates_failed\":" << failures.size() << "}";

@@ -7,16 +7,32 @@ namespace tas {
 
 FaultSchedule& FaultSchedule::At(TimeNs t, std::string description,
                                  std::function<void()> apply) {
-  events_.push_back(FaultEvent{t, std::move(description), std::move(apply)});
+  FaultEvent e;
+  e.at = t;
+  e.description = std::move(description);
+  e.apply = std::move(apply);
+  events_.push_back(std::move(e));
   return *this;
 }
 
 FaultSchedule& FaultSchedule::LinkDownAt(TimeNs t, Link* link) {
-  return At(t, "link down", [link] { link->SetDown(true); });
+  FaultEvent e;
+  e.at = t;
+  e.description = "link down";
+  e.link = link;
+  e.apply_side = [](Link* l, int side) { l->SetDownSide(side, true); };
+  events_.push_back(std::move(e));
+  return *this;
 }
 
 FaultSchedule& FaultSchedule::LinkUpAt(TimeNs t, Link* link) {
-  return At(t, "link up", [link] { link->SetDown(false); });
+  FaultEvent e;
+  e.at = t;
+  e.description = "link up";
+  e.link = link;
+  e.apply_side = [](Link* l, int side) { l->SetDownSide(side, false); };
+  events_.push_back(std::move(e));
+  return *this;
 }
 
 FaultSchedule& FaultSchedule::LinkFlap(TimeNs t, TimeNs duration, Link* link) {
@@ -28,17 +44,28 @@ FaultSchedule& FaultSchedule::ImpairmentWindow(TimeNs from, TimeNs to, Link* lin
                                                const ImpairmentSpec& spec) {
   TAS_CHECK(to >= from);
   // The handle is produced when the window opens, so the open/close thunks
-  // share it through one cell.
+  // share it through one cell. Both run on the targeted side's island.
   auto handle = std::make_shared<Impairment*>(nullptr);
   const std::string name = ImpairmentKindName(spec.kind);
-  At(from, name + " window opens",
-     [link, side, spec, handle] { *handle = link->AddImpairment(side, spec); });
-  At(to, name + " window closes", [link, side, handle] {
+  FaultEvent open;
+  open.at = from;
+  open.description = name + " window opens";
+  open.link = link;
+  open.side = side;
+  open.apply_side = [spec, handle](Link* l, int s) { *handle = l->AddImpairment(s, spec); };
+  events_.push_back(std::move(open));
+  FaultEvent close;
+  close.at = to;
+  close.description = name + " window closes";
+  close.link = link;
+  close.side = side;
+  close.apply_side = [handle](Link* l, int s) {
     if (*handle != nullptr) {
-      link->RemoveImpairment(side, *handle);
+      l->RemoveImpairment(s, *handle);
       *handle = nullptr;
     }
-  });
+  };
+  events_.push_back(std::move(close));
   return *this;
 }
 
@@ -48,15 +75,43 @@ FaultSchedule& FaultSchedule::ImpairmentWindowBoth(TimeNs from, TimeNs to, Link*
   return ImpairmentWindow(from, to, link, 1, spec);
 }
 
+void FaultInjector::Append(TimeNs at, const std::string& description) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back(LogEntry{at, description});
+}
+
 void FaultInjector::Install(FaultSchedule schedule) {
   for (const FaultEvent& event : schedule.events()) {
-    ++pending_;
     auto apply = std::make_shared<FaultEvent>(event);
-    sim_->AtClamped(apply->at, [this, apply] {
-      log_.push_back(LogEntry{sim_->Now(), apply->description});
-      apply->apply();
-      --pending_;
-    });
+    if (apply->link == nullptr || !apply->apply_side) {
+      // Plain thunk: runs on the control simulator.
+      ++pending_;
+      sim_->AtClamped(apply->at, [this, apply] {
+        Append(sim_->Now(), apply->description);
+        apply->apply();
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+      });
+      continue;
+    }
+    // Link-targeted event: one sim event per targeted side, each on the
+    // island owning that side's state. The first side's event carries the
+    // log entry, so a both-sides mutation still logs once. In serial mode
+    // every side_sim is the control simulator and the per-side events run
+    // back to back at the same instant — the pre-split behavior.
+    const int first = apply->side >= 0 ? apply->side : 0;
+    const int last = apply->side >= 0 ? apply->side : 1;
+    for (int s = first; s <= last; ++s) {
+      ++pending_;
+      Simulator* target = apply->link->side_sim(s);
+      const bool log_this = s == first;
+      target->AtClamped(apply->at, [this, apply, target, s, log_this] {
+        if (log_this) {
+          Append(target->Now(), apply->description);
+        }
+        apply->apply_side(apply->link, s);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
   }
 }
 

@@ -1,0 +1,54 @@
+// Cross-island handoff message for the partitioned simulator (DESIGN.md §13).
+//
+// When a link's two endpoints live on different islands, the sender cannot
+// schedule the delivery event on the receiver's heap directly (that heap
+// belongs to another thread). Instead it posts a CrossArrival into the
+// partition's per-(src,dst) mailbox; the receiver drains its mailboxes at the
+// next epoch barrier and schedules one local delivery event per arrival,
+// carrying the (sent, chain, src_island, seq) provenance into the heap key
+// so the delivery sorts by scheduling provenance — identically for every
+// thread count (Simulator::QueueEntry). The struct
+// is deliberately flat — function pointers plus a small inline array of
+// opaque item pointers — so src/sim stays independent of src/net: the link
+// layer stuffs raw Packet*s into items[] and supplies deliver/dispose
+// callbacks that re-wrap them on the far side.
+#ifndef SRC_SIM_CROSS_ARRIVAL_H_
+#define SRC_SIM_CROSS_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace tas {
+
+// Length of the scheduling-ancestry chain carried in heap sort keys (see
+// Simulator::QueueEntry): sched itself plus this many ancestor sched times.
+inline constexpr int kSchedChainLen = 3;
+
+struct CrossArrival {
+  // Matches Link's default burst cap; bursts larger than this are split into
+  // consecutive-seq arrivals at the same timestamp, which the canonical drain
+  // order keeps adjacent and in-order.
+  static constexpr int kMaxItems = 16;
+
+  TimeNs when = 0;        // Delivery time on the destination island.
+  TimeNs sent = 0;        // Source-island clock at post time (provenance key).
+  TimeNs chain[kSchedChainLen] = {};  // Posting event's ancestor sched times.
+  uint32_t src_island = 0;
+  uint64_t seq = 0;       // Per-source post order; filled in by SimPartition::Post.
+
+  // Runs on the destination island's thread at `when`. Ownership of items[]
+  // transfers to the callback.
+  void (*deliver)(void* ctx, TimeNs when, void** items, int n) = nullptr;
+  // Teardown path: frees items[] when the delivery event never fires (the
+  // destination simulator is destroyed with the event still pending).
+  void (*dispose)(void* ctx, void** items, int n) = nullptr;
+  void* ctx = nullptr;
+
+  int n = 0;
+  void* items[kMaxItems] = {};
+};
+
+}  // namespace tas
+
+#endif  // SRC_SIM_CROSS_ARRIVAL_H_

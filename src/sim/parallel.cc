@@ -1,0 +1,345 @@
+#include "src/sim/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "src/sim/simulator.h"
+#include "src/util/logging.h"
+
+namespace tas {
+
+namespace {
+
+std::atomic<int> g_active_runs{0};
+
+// Holder for an in-flight CrossArrival: the delivery event owns it, and if
+// the event never fires (simulator torn down mid-flight) the destructor
+// routes the items through dispose() instead of leaking them.
+struct PendingArrival {
+  CrossArrival a;
+  bool delivered = false;
+
+  explicit PendingArrival(CrossArrival&& arrival) : a(std::move(arrival)) {}
+  PendingArrival(const PendingArrival&) = delete;
+  PendingArrival& operator=(const PendingArrival&) = delete;
+  ~PendingArrival() {
+    if (!delivered && a.dispose != nullptr) {
+      a.dispose(a.ctx, a.items, a.n);
+    }
+  }
+
+  void Fire() {
+    delivered = true;
+    if (a.deliver != nullptr) {
+      a.deliver(a.ctx, a.when, a.items, a.n);
+    }
+  }
+};
+
+}  // namespace
+
+bool SimPartition::AnyRunActive() {
+  return g_active_runs.load(std::memory_order_acquire) > 0;
+}
+
+SimPartition::SimPartition(int threads) : threads_(threads) {
+  TAS_CHECK(threads >= 1);
+}
+
+SimPartition::~SimPartition() {
+  TAS_CHECK(!in_run_);
+  // Undrained mailboxes dispose their cargo (CrossArrival itself does not own
+  // anything; PendingArrival-style cleanup applies only to posted-but-never-
+  // drained arrivals, which can exist if a run stopped at an epoch boundary).
+  for (auto& box : boxes_) {
+    for (auto& out : box->outbox) {
+      for (auto& a : out) {
+        if (a.dispose != nullptr) {
+          a.dispose(a.ctx, a.items, a.n);
+        }
+      }
+      out.clear();
+    }
+  }
+}
+
+void SimPartition::AdoptControl(Simulator* sim) {
+  TAS_CHECK(islands_.empty()) << "control island must be registered first";
+  islands_.push_back(sim);
+  boxes_.push_back(std::make_unique<IslandBox>());
+  sim->SetPartition(this, 0);
+  for (auto& box : boxes_) {
+    box->outbox.resize(islands_.size());
+  }
+}
+
+Simulator* SimPartition::NewIsland() {
+  TAS_CHECK(!islands_.empty()) << "AdoptControl before NewIsland";
+  owned_.push_back(std::make_unique<Simulator>());
+  Simulator* sim = owned_.back().get();
+  const int id = static_cast<int>(islands_.size());
+  islands_.push_back(sim);
+  boxes_.push_back(std::make_unique<IslandBox>());
+  sim->SetPartition(this, id);
+  for (auto& box : boxes_) {
+    box->outbox.resize(islands_.size());
+  }
+  return sim;
+}
+
+void SimPartition::AddEdge(int src_island, int dst_island, TimeNs delay) {
+  TAS_CHECK(src_island >= 0 && src_island < num_islands());
+  TAS_CHECK(dst_island >= 0 && dst_island < num_islands());
+  if (src_island == dst_island) {
+    return;  // Intra-island edges impose no lookahead constraint.
+  }
+  TAS_CHECK(delay > 0) << "cross-island edges need positive propagation delay "
+                          "(zero-lookahead endpoints must share an island)";
+  if (lookahead_ == 0 || delay < lookahead_) {
+    lookahead_ = delay;
+  }
+}
+
+void SimPartition::Post(int src_island, int dst_island, CrossArrival arrival) {
+  IslandBox& box = *boxes_[src_island];
+  arrival.src_island = static_cast<uint32_t>(src_island);
+  arrival.seq = box.post_seq++;
+  ++box.posts;
+  box.items += static_cast<uint64_t>(arrival.n);
+  box.outbox[dst_island].push_back(std::move(arrival));
+}
+
+uint64_t SimPartition::cross_posts() const {
+  uint64_t total = 0;
+  for (const auto& box : boxes_) {
+    total += box->posts;
+  }
+  return total;
+}
+
+uint64_t SimPartition::cross_items() const {
+  uint64_t total = 0;
+  for (const auto& box : boxes_) {
+    total += box->items;
+  }
+  return total;
+}
+
+uint64_t SimPartition::events_executed() const {
+  uint64_t total = 0;
+  for (Simulator* sim : islands_) {
+    total += sim->events_executed();
+  }
+  return total;
+}
+
+uint64_t SimPartition::cancelled_events() const {
+  uint64_t total = 0;
+  for (Simulator* sim : islands_) {
+    total += sim->cancelled_events();
+  }
+  return total;
+}
+
+uint64_t SimPartition::cancelled_popped() const {
+  uint64_t total = 0;
+  for (Simulator* sim : islands_) {
+    total += sim->cancelled_popped();
+  }
+  return total;
+}
+
+size_t SimPartition::max_pending_events() const {
+  size_t total = 0;
+  for (Simulator* sim : islands_) {
+    total += sim->max_pending_events();
+  }
+  return total;
+}
+
+size_t SimPartition::event_nodes_total() const {
+  size_t total = 0;
+  for (Simulator* sim : islands_) {
+    total += sim->event_nodes_total();
+  }
+  return total;
+}
+
+void SimPartition::DrainInbox(int dst) {
+  IslandBox& box = *boxes_[dst];
+  auto& in = box.inbox_scratch;
+  in.clear();
+  for (int src = 0; src < num_islands(); ++src) {
+    auto& out = boxes_[src]->outbox[dst];
+    if (!out.empty()) {
+      in.insert(in.end(), std::make_move_iterator(out.begin()),
+                std::make_move_iterator(out.end()));
+      out.clear();
+    }
+  }
+  if (in.empty()) {
+    return;
+  }
+  // Each delivery carries its (sent, chain, src_island, post-seq) provenance
+  // into the destination heap's sort key, so its position among
+  // same-timestamp events is fixed by the workload alone — independent of
+  // drain order and of how islands are spread over threads.
+  for (auto& a : in) {
+    const TimeNs when = a.when;
+    const TimeNs sent = a.sent;
+    TimeNs chain[kSchedChainLen];
+    for (int i = 0; i < kSchedChainLen; ++i) {
+      chain[i] = a.chain[i];
+    }
+    const uint32_t src = a.src_island;
+    const uint64_t seq = a.seq;
+    islands_[dst]->AtSequenced(
+        when, sent, chain, src, seq,
+        [p = std::make_unique<PendingArrival>(std::move(a))] { p->Fire(); });
+  }
+  in.clear();
+}
+
+void SimPartition::Await(Barrier* b, const std::function<void()>& completion) {
+  const uint32_t old_phase = b->phase.load(std::memory_order_acquire);
+  const int arrived = b->count.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (arrived == threads_) {
+    if (completion) {
+      completion();
+    }
+    b->count.store(0, std::memory_order_relaxed);
+    b->phase.store(old_phase + 1, std::memory_order_release);
+    b->phase.notify_all();
+    return;
+  }
+  // Short spin for the dense-epoch case, then block: a machine with fewer
+  // cores than threads must not burn its timeslice at every barrier.
+  for (int spin = 0; spin < 128; ++spin) {
+    if (b->phase.load(std::memory_order_acquire) != old_phase) {
+      return;
+    }
+  }
+  while (b->phase.load(std::memory_order_acquire) == old_phase) {
+    b->phase.wait(old_phase, std::memory_order_acquire);
+  }
+}
+
+void SimPartition::Decide() {
+  ++epochs_;
+  if (stop_requested_.load(std::memory_order_relaxed) || inclusive_) {
+    // inclusive_ marks the final window: every event <= until has executed
+    // and all arrivals posted during it land strictly beyond until (they were
+    // produced by events at t >= T_next with T_next + W > until).
+    done_ = true;
+    return;
+  }
+  ComputeWindow();
+}
+
+void SimPartition::ComputeWindow() {
+  TimeNs t_next = 0;
+  bool any = false;
+  for (const auto& box : boxes_) {
+    if (box->has_pending && (!any || box->next_pending < t_next)) {
+      t_next = box->next_pending;
+      any = true;
+    }
+  }
+  if (!any || t_next > until_ || lookahead_ == 0 || t_next > until_ - lookahead_) {
+    // Nothing pending inside the horizon, or the window reaches past it
+    // (also the no-cross-edges case: W is effectively infinite).
+    bound_ = until_;
+    inclusive_ = true;
+    return;
+  }
+  bound_ = t_next + lookahead_;
+  inclusive_ = false;
+}
+
+void SimPartition::WorkerLoop(int worker) {
+  for (;;) {
+    for (int i = worker; i < num_islands(); i += threads_) {
+      if (enter_hook_) {
+        enter_hook_(i);
+      }
+      islands_[i]->RunEpoch(bound_, inclusive_);
+    }
+    Await(&compute_barrier_, nullptr);  // All cross posts now visible.
+    for (int i = worker; i < num_islands(); i += threads_) {
+      if (enter_hook_) {
+        enter_hook_(i);
+      }
+      DrainInbox(i);
+      boxes_[i]->has_pending = islands_[i]->PeekNext(&boxes_[i]->next_pending);
+    }
+    Await(&drain_barrier_, [this] { Decide(); });
+    if (done_) {
+      return;
+    }
+  }
+}
+
+uint64_t SimPartition::RunUntil(TimeNs until) {
+  TAS_CHECK(!in_run_) << "re-entrant SimPartition::RunUntil";
+  TAS_CHECK(!islands_.empty());
+  const uint64_t before = events_executed();
+  stop_requested_.store(false, std::memory_order_relaxed);
+  for (Simulator* sim : islands_) {
+    sim->ResetStopped();
+  }
+  // Flush anything posted outside a run (setup code sending before the first
+  // RunUntil) so the initial window sees it as pending work.
+  for (int i = 0; i < num_islands(); ++i) {
+    DrainInbox(i);
+  }
+  until_ = until;
+  done_ = false;
+  // Initial window, computed serially before workers exist.
+  for (int i = 0; i < num_islands(); ++i) {
+    boxes_[i]->has_pending = islands_[i]->PeekNext(&boxes_[i]->next_pending);
+  }
+  ComputeWindow();
+
+  in_run_ = true;
+  g_active_runs.fetch_add(1, std::memory_order_acq_rel);
+  std::vector<std::thread> workers;
+  workers.reserve(threads_ - 1);
+  for (int w = 1; w < threads_; ++w) {
+    workers.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  WorkerLoop(0);
+  for (auto& t : workers) {
+    t.join();
+  }
+  g_active_runs.fetch_sub(1, std::memory_order_acq_rel);
+  in_run_ = false;
+  if (enter_hook_) {
+    enter_hook_(0);  // Main thread context back to the control island.
+  }
+  return events_executed() - before;
+}
+
+uint64_t SimPartition::RunAll() {
+  uint64_t total = 0;
+  for (;;) {
+    TimeNs horizon = 0;
+    bool any = false;
+    for (Simulator* sim : islands_) {
+      TimeNs t = 0;
+      if (sim->PeekNext(&t)) {
+        if (!any || t > horizon) {
+          horizon = t;
+        }
+        any = true;
+      }
+    }
+    if (!any) {
+      return total;
+    }
+    total += RunUntil(horizon);
+  }
+}
+
+}  // namespace tas

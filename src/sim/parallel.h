@@ -1,0 +1,169 @@
+// Conservative parallel DES executor (DESIGN.md §13).
+//
+// The topology is partitioned into *islands* — one simulator (heap + event
+// slab + clock) per host and per switch, assigned by src/net/topology — and
+// the islands advance in lockstep epochs. Link propagation delay is the
+// conservative lookahead: an event executing at time t on one island can
+// only affect another island at t + delay of the connecting link, so with
+// W = min over all cross-island edges of that delay, every island may safely
+// execute all events with timestamp below the epoch bound
+//
+//   T_end = min(T_next + W, until),   T_next = global min pending timestamp
+//
+// without ever seeing a message from the "past". Cross-island packet
+// handoffs travel as CrossArrivals through per-(src,dst) mailboxes that are
+// written only by the source island's thread during the compute phase and
+// drained only by the destination island's owner after the barrier, so the
+// mailboxes need no locks — the epoch barrier is the synchronization.
+//
+// Determinism: the epoch sequence depends only on event timestamps and W,
+// never on thread scheduling; each island executes its heap in the
+// provenance order of Simulator::QueueEntry; and every cross-island arrival
+// carries its transmit site's (sent, sched chain, island, post-seq) into the
+// destination heap's sort key, so its position among same-timestamp events
+// is fixed by the workload alone — not by mailbox drain order or by how
+// islands are spread over threads. Same seed + same topology =>
+// byte-identical results for any thread count (1 included).
+#ifndef SRC_SIM_PARALLEL_H_
+#define SRC_SIM_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/cross_arrival.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+class Simulator;
+
+class SimPartition {
+ public:
+  // `threads` is the number of OS threads used for epoch compute phases
+  // (>= 1; the calling thread doubles as worker 0). Islands are assigned to
+  // workers round-robin.
+  explicit SimPartition(int threads);
+  ~SimPartition();
+
+  SimPartition(const SimPartition&) = delete;
+  SimPartition& operator=(const SimPartition&) = delete;
+
+  // Registers `sim` (owned by the caller, e.g. the Experiment's control
+  // simulator) as island 0. Island 0 typically has no in-edges, so it never
+  // constrains the epoch window. Must be called before NewIsland().
+  void AdoptControl(Simulator* sim);
+
+  // Creates a new island simulator owned by the partition.
+  Simulator* NewIsland();
+
+  int num_islands() const { return static_cast<int>(islands_.size()); }
+  int threads() const { return threads_; }
+  Simulator* island(int id) const { return islands_[id]; }
+
+  // Declares that events on `src` may hand off to `dst` no earlier than
+  // `delay` after their own timestamp (a link direction). The minimum over
+  // all edges becomes the conservative epoch window.
+  void AddEdge(int src_island, int dst_island, TimeNs delay);
+
+  // Posts a cross-island handoff. Must be called from the thread currently
+  // executing `src_island` (i.e. from inside one of its events).
+  void Post(int src_island, int dst_island, CrossArrival arrival);
+
+  // Runs every island to `until` (inclusive, like Simulator::RunUntil) in
+  // lockstep epochs. Returns the number of events executed across all
+  // islands during this call.
+  uint64_t RunUntil(TimeNs until);
+
+  // Runs until every island's queue drains (Simulator::Run equivalent).
+  uint64_t RunAll();
+
+  // True while RunUntil is executing epochs; Simulator::RunUntil uses this
+  // to tell a top-level call (delegate to the partition) from the
+  // partition's own per-island epoch slices.
+  bool InRun() const { return in_run_; }
+
+  // Safe from any thread: all islands stop at the next epoch boundary.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  // Called on the executing thread right before an island's epoch slice (and
+  // before its mailbox drain). The harness uses it to point thread-local
+  // island context (CurrentIslandId, per-island PacketPool) at the island.
+  void SetIslandEnterHook(std::function<void(int island)> hook) {
+    enter_hook_ = std::move(hook);
+  }
+
+  // --- Introspection (read between runs; not thread-safe mid-run) ----------
+  TimeNs lookahead() const { return lookahead_; }
+  uint64_t epochs() const { return epochs_; }
+  uint64_t cross_posts() const;    // CrossArrivals posted across islands.
+  uint64_t cross_items() const;    // Items (packets) carried by those posts.
+  uint64_t events_executed() const;  // Sum over all islands.
+  uint64_t cancelled_events() const;   // Sum over all islands.
+  uint64_t cancelled_popped() const;   // Sum over all islands.
+  size_t max_pending_events() const;   // Sum of per-island high-water marks.
+  size_t event_nodes_total() const;    // Sum of per-island slab sizes.
+
+  // True while any SimPartition::RunUntil is executing on this process.
+  // Install/Current singletons assert on this to reject installs that would
+  // race with worker threads.
+  static bool AnyRunActive();
+
+ private:
+  struct IslandBox {
+    // Outgoing mailboxes indexed by destination island; written only by this
+    // island's executing thread during compute, drained by the destination's
+    // owner after the barrier.
+    std::vector<std::vector<CrossArrival>> outbox;
+    uint64_t post_seq = 0;     // Canonical per-source drain order.
+    uint64_t posts = 0;
+    uint64_t items = 0;
+    TimeNs next_pending = 0;   // Published at the drain barrier.
+    bool has_pending = false;
+    // Reused gather buffer for this island's drains (owner thread only).
+    std::vector<CrossArrival> inbox_scratch;
+  };
+
+  void WorkerLoop(int worker);
+  void DrainInbox(int dst);
+  // Epoch decision, run by exactly one thread between barriers: finishes the
+  // run after the final window (or a stop request), else picks the next one.
+  void Decide();
+  // Computes the next (bound, inclusive) window from the published per-island
+  // next-pending times.
+  void ComputeWindow();
+
+  const int threads_;
+  std::vector<std::unique_ptr<Simulator>> owned_;
+  std::vector<Simulator*> islands_;  // [0] = control, then owned islands.
+  std::vector<std::unique_ptr<IslandBox>> boxes_;
+  TimeNs lookahead_ = 0;  // 0 until the first edge; then min edge delay.
+  std::function<void(int)> enter_hook_;
+
+  // --- Per-run state (set up by RunUntil, read by workers) -----------------
+  TimeNs until_ = 0;
+  TimeNs bound_ = 0;
+  bool inclusive_ = false;
+  bool done_ = false;
+  bool in_run_ = false;
+  std::atomic<bool> stop_requested_{false};
+  uint64_t epochs_ = 0;
+
+  // Sense-reversing barrier: one count+phase pair reused for both the
+  // post-compute and post-drain rendezvous. Waiters block on the phase word
+  // (futex via std::atomic::wait) after a short spin, so an oversubscribed
+  // machine degrades to sleeping instead of burning the timeslice.
+  struct Barrier {
+    std::atomic<int> count{0};
+    std::atomic<uint32_t> phase{0};
+  };
+  Barrier compute_barrier_;
+  Barrier drain_barrier_;
+  void Await(Barrier* b, const std::function<void()>& completion);
+};
+
+}  // namespace tas
+
+#endif  // SRC_SIM_PARALLEL_H_

@@ -5,6 +5,10 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/sim/parallel.h"
+#include "src/util/island.h"
+#include "src/util/logging.h"
+
 namespace tas {
 
 CausalTracer* CausalTracer::current_ = nullptr;
@@ -163,23 +167,44 @@ CausalTracer::CausalTracer(size_t trace_capacity, size_t exemplars_per_class)
   while (cap < trace_capacity) {
     cap <<= 1;
   }
-  ring_.resize(cap);
   mask_ = cap - 1;
+  shards_.resize(1);
+  shards_[0].ring.resize(cap);
 }
 
 CausalTracer* CausalTracer::Install(CausalTracer* tracer) {
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "CausalTracer::Install during a partitioned run";
   CausalTracer* previous = current_;
   current_ = tracer;
   return previous;
 }
 
+void CausalTracer::EnableShards(int num_shards) {
+  TAS_CHECK(num_shards >= 1);
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "CausalTracer::EnableShards during a partitioned run";
+  shards_.assign(static_cast<size_t>(num_shards), Shard{});
+  for (Shard& s : shards_) {
+    s.ring.resize(mask_ + 1);
+  }
+}
+
+CausalTracer::Shard& CausalTracer::CurShard() {
+  const size_t island = static_cast<size_t>(CurrentIslandId());
+  return shards_[island < shards_.size() ? island : 0];
+}
+
 uint64_t CausalTracer::BeginTrace(TimeNs start) {
-  const uint64_t id = next_trace_id_++;
-  TraceRec& r = ring_[id & mask_];
+  Shard& shard = CurShard();
+  const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
+  const uint64_t id =
+      (static_cast<uint64_t>(shard_index) << kTraceShardShift) | shard.next_trace_id++;
+  TraceRec& r = shard.ring[id & mask_];
   if (r.id != 0) {
     // Ring wrapped onto a live trace: the oldest in-flight trace is dropped;
-    // its late stamps fail the id check (stale_).
-    ++dropped_;
+    // its late stamps fail the id check (stale).
+    ++shard.dropped;
   }
   r.id = id;
   r.start = start;
@@ -195,9 +220,12 @@ CausalTracer::TraceRec* CausalTracer::Slot(uint64_t id) {
   if (id == 0) {
     return nullptr;
   }
-  TraceRec& r = ring_[id & mask_];
+  // Ring shard from the id's high bits (the island that opened the trace);
+  // staleness is charged to the calling island's shard.
+  const size_t shard_index = id >> kTraceShardShift;
+  TraceRec& r = shards_[shard_index < shards_.size() ? shard_index : 0].ring[id & mask_];
   if (r.id != id) {
-    ++stale_;
+    ++CurShard().stale;
     return nullptr;
   }
   return &r;
@@ -213,7 +241,10 @@ uint32_t CausalTracer::StartSpan(uint64_t trace, uint32_t parent, CausalSpanKind
     r->truncated = true;
     return 0;
   }
-  const uint32_t id = next_span_id_++;
+  Shard& shard = CurShard();
+  const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
+  const uint32_t id = (static_cast<uint32_t>(shard_index) << kSpanShardShift) |
+                      shard.next_span_id++;
   CausalSpan span;
   span.id = id;
   span.parent = parent;
@@ -280,8 +311,11 @@ void CausalTracer::Finish(uint64_t trace, TimeNs end) {
   if (r == nullptr) {
     return;
   }
+  // Statistics fold into the CALLING island's shard (thread-owned memory);
+  // the record may live in another island's ring.
+  Shard& shard = CurShard();
   if (r->truncated) {
-    ++truncated_;
+    ++shard.truncated;
     r->id = 0;
     return;
   }
@@ -291,20 +325,20 @@ void CausalTracer::Finish(uint64_t trace, TimeNs end) {
   std::vector<CriticalPathEdge> path;
   const bool ok = r->has_class && ExtractCriticalPath(r->start, end, r->marks, &path);
   if (!ok) {
-    ++critical_path_mismatches_;
+    ++shard.critical_path_mismatches;
     r->id = 0;
     return;
   }
   const size_t ci = static_cast<size_t>(r->cls);
   for (const CriticalPathEdge& e : path) {
     const size_t idx = Idx(r->cls, e.edge);
-    edge_hist_[idx].Add(static_cast<uint64_t>(e.duration));
-    edge_stats_[idx].Add(static_cast<double>(e.duration));
+    shard.edge_hist[idx].Add(static_cast<uint64_t>(e.duration));
+    shard.edge_stats[idx].Add(static_cast<double>(e.duration));
   }
   const uint64_t e2e = static_cast<uint64_t>(end - r->start);
-  e2e_hist_[ci].Add(e2e);
-  e2e_stats_[ci].Add(static_cast<double>(e2e));
-  ++completed_;
+  shard.e2e_hist[ci].Add(e2e);
+  shard.e2e_stats[ci].Add(static_cast<double>(e2e));
+  ++shard.completed;
   MaybeRetainExemplar(*r, end);
   r->id = 0;
 }
@@ -313,7 +347,7 @@ void CausalTracer::MaybeRetainExemplar(const TraceRec& rec, TimeNs end) {
   if (exemplars_per_class_ == 0) {
     return;
   }
-  std::vector<TraceExemplar>& pool = exemplars_[static_cast<size_t>(rec.cls)];
+  std::vector<TraceExemplar>& pool = CurShard().exemplars[static_cast<size_t>(rec.cls)];
   const TimeNs e2e = end - rec.start;
   if (pool.size() >= exemplars_per_class_ && e2e <= pool.back().end - pool.back().start) {
     return;
@@ -341,28 +375,77 @@ void CausalTracer::Abandon(uint64_t trace) {
   if (trace == 0) {
     return;
   }
-  TraceRec& r = ring_[trace & mask_];
+  const size_t shard_index = trace >> kTraceShardShift;
+  TraceRec& r =
+      shards_[shard_index < shards_.size() ? shard_index : 0].ring[trace & mask_];
   if (r.id != trace) {
     return;  // Already gone; double-abandon is not an error.
   }
   r.id = 0;
-  ++abandoned_;
+  ++CurShard().abandoned;
 }
 
 void CausalTracer::Clear() {
-  for (TraceRec& r : ring_) {
-    r = TraceRec{};
+  for (Shard& shard : shards_) {
+    shard = Shard{};
+    shard.ring.resize(mask_ + 1);
   }
-  next_trace_id_ = 1;
-  next_span_id_ = 1;
-  edge_hist_ = {};
-  edge_stats_ = {};
-  e2e_hist_ = {};
-  e2e_stats_ = {};
-  for (auto& pool : exemplars_) {
+  for (auto& pool : exemplar_cache_) {
     pool.clear();
   }
-  completed_ = abandoned_ = dropped_ = stale_ = truncated_ = critical_path_mismatches_ = 0;
+}
+
+LogHistogram CausalTracer::edge_hist(RequestClass cls, CausalEdge edge) const {
+  LogHistogram h;
+  for (const Shard& s : shards_) {
+    h.Merge(s.edge_hist[Idx(cls, edge)]);
+  }
+  return h;
+}
+
+RunningStats CausalTracer::edge_stats(RequestClass cls, CausalEdge edge) const {
+  RunningStats st;
+  for (const Shard& s : shards_) {
+    st.Merge(s.edge_stats[Idx(cls, edge)]);
+  }
+  return st;
+}
+
+LogHistogram CausalTracer::e2e_hist(RequestClass cls) const {
+  LogHistogram h;
+  for (const Shard& s : shards_) {
+    h.Merge(s.e2e_hist[static_cast<size_t>(cls)]);
+  }
+  return h;
+}
+
+RunningStats CausalTracer::e2e_stats(RequestClass cls) const {
+  RunningStats st;
+  for (const Shard& s : shards_) {
+    st.Merge(s.e2e_stats[static_cast<size_t>(cls)]);
+  }
+  return st;
+}
+
+const std::vector<TraceExemplar>& CausalTracer::exemplars(RequestClass cls) const {
+  // Global top-k from the union of per-shard top-k pools. Each pool is
+  // already worst-first; a stable sort keeps intra-shard completion order
+  // and island order on exact ties, so one shard reproduces the old serial
+  // order byte-for-byte.
+  std::vector<TraceExemplar>& merged = exemplar_cache_[static_cast<size_t>(cls)];
+  merged.clear();
+  for (const Shard& s : shards_) {
+    const auto& pool = s.exemplars[static_cast<size_t>(cls)];
+    merged.insert(merged.end(), pool.begin(), pool.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceExemplar& a, const TraceExemplar& b) {
+                     return (a.end - a.start) > (b.end - b.start);
+                   });
+  if (merged.size() > exemplars_per_class_) {
+    merged.resize(exemplars_per_class_);
+  }
+  return merged;
 }
 
 namespace {
@@ -389,15 +472,15 @@ CriticalPathEdgeSummary SummarizeEdge(const std::string& name, const std::string
 
 CriticalPathReport CausalTracer::Report() const {
   CriticalPathReport report;
-  report.completed = completed_;
-  report.abandoned = abandoned_;
-  report.dropped = dropped_;
-  report.stale = stale_;
-  report.truncated = truncated_;
-  report.mismatches = critical_path_mismatches_;
+  report.completed = completed();
+  report.abandoned = abandoned();
+  report.dropped = dropped();
+  report.stale = stale();
+  report.truncated = truncated();
+  report.mismatches = critical_path_mismatches();
   for (int c = 0; c < kNumRequestClasses; ++c) {
     const RequestClass cls = static_cast<RequestClass>(c);
-    const RunningStats& e2e = e2e_stats_[static_cast<size_t>(c)];
+    const RunningStats e2e = e2e_stats(cls);
     if (e2e.count() == 0) {
       continue;
     }
@@ -405,16 +488,15 @@ CriticalPathReport CausalTracer::Report() const {
     cs.request_class = RequestClassName(cls);
     cs.count = e2e.count();
     const double e2e_sum = e2e.mean() * static_cast<double>(e2e.count());
-    cs.edges.push_back(SummarizeEdge("e2e", "total", e2e_hist_[static_cast<size_t>(c)], e2e,
-                                     e2e_sum));
+    cs.edges.push_back(SummarizeEdge("e2e", "total", e2e_hist(cls), e2e, e2e_sum));
     for (int e = 0; e < kNumCausalEdges; ++e) {
       const CausalEdge edge = static_cast<CausalEdge>(e);
-      const size_t idx = Idx(cls, edge);
-      if (edge_stats_[idx].count() == 0) {
+      const RunningStats es = edge_stats(cls, edge);
+      if (es.count() == 0) {
         continue;
       }
       cs.edges.push_back(SummarizeEdge(CausalEdgeName(edge), CausalEdgeClass(edge),
-                                       edge_hist_[idx], edge_stats_[idx], e2e_sum));
+                                       edge_hist(cls, edge), es, e2e_sum));
     }
     report.classes.push_back(std::move(cs));
   }

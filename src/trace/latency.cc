@@ -6,6 +6,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/sim/parallel.h"
+#include "src/util/island.h"
 #include "src/util/logging.h"
 
 namespace tas {
@@ -52,23 +54,44 @@ LatencyTracer::LatencyTracer(size_t ring_capacity) {
   while (cap < ring_capacity) {
     cap <<= 1;
   }
-  ring_.resize(cap);
   mask_ = cap - 1;
+  shards_.resize(1);
+  shards_[0].ring.resize(cap);
 }
 
 LatencyTracer* LatencyTracer::Install(LatencyTracer* tracer) {
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "LatencyTracer::Install during a partitioned run";
   LatencyTracer* previous = current_;
   current_ = tracer;
   return previous;
 }
 
+void LatencyTracer::EnableShards(int num_shards) {
+  TAS_CHECK(num_shards >= 1);
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "LatencyTracer::EnableShards during a partitioned run";
+  shards_.assign(static_cast<size_t>(num_shards), Shard{});
+  for (Shard& s : shards_) {
+    s.ring.resize(mask_ + 1);
+  }
+}
+
+LatencyTracer::Shard& LatencyTracer::CurShard() {
+  const size_t island = static_cast<size_t>(CurrentIslandId());
+  return shards_[island < shards_.size() ? island : 0];
+}
+
 uint64_t LatencyTracer::Begin(TimeNs start) {
-  const uint64_t id = next_id_++;
-  Record& r = ring_[id & mask_];
+  Shard& shard = CurShard();
+  const size_t shard_index = static_cast<size_t>(&shard - shards_.data());
+  const uint64_t id =
+      (static_cast<uint64_t>(shard_index) << kShardShift) | shard.next_id++;
+  Record& r = shard.ring[id & mask_];
   if (r.id != 0) {
     // Ring wrapped onto a record that never finished: the oldest in-flight
-    // record is dropped; its late stamps will fail the id check (stale_).
-    ++overwritten_;
+    // record is dropped; its late stamps will fail the id check (stale).
+    ++shard.overwritten;
   }
   r.id = id;
   r.start = start;
@@ -79,9 +102,13 @@ uint64_t LatencyTracer::Begin(TimeNs start) {
 }
 
 LatencyTracer::Record* LatencyTracer::Slot(uint64_t id) {
-  Record& r = ring_[id & mask_];
+  // The ring that holds the record is the shard of the island that OPENED it
+  // (high id bits); it may differ from the calling island when the packet
+  // crossed a link. The stale counter is charged to the caller's shard.
+  const size_t shard_index = id >> kShardShift;
+  Record& r = shards_[shard_index < shards_.size() ? shard_index : 0].ring[id & mask_];
   if (r.id != id) {
-    ++stale_;
+    ++CurShard().stale;
     return nullptr;
   }
   return &r;
@@ -113,6 +140,9 @@ void LatencyTracer::Finish(uint64_t id, LatencyStage stage, TimeNs now) {
   r->stage_ns[fi] += static_cast<uint64_t>(now - r->last);
   r->touched |= 1u << fi;
 
+  // Fold into the CALLING island's shard (thread-owned), not the ring
+  // shard: the record travelled with the packet, the statistics stay home.
+  Shard& shard = CurShard();
   uint64_t total = 0;
   uint64_t queue_ns = 0;
   uint64_t service_ns = 0;
@@ -121,8 +151,8 @@ void LatencyTracer::Finish(uint64_t id, LatencyStage stage, TimeNs now) {
       continue;
     }
     const uint64_t ns = r->stage_ns[static_cast<size_t>(i)];
-    stage_hist_[static_cast<size_t>(i)].Add(ns);
-    stage_stats_[static_cast<size_t>(i)].Add(static_cast<double>(ns));
+    shard.stage_hist[static_cast<size_t>(i)].Add(ns);
+    shard.stage_stats[static_cast<size_t>(i)].Add(static_cast<double>(ns));
     total += ns;
     if (LatencyStageIsQueue(static_cast<LatencyStage>(i))) {
       queue_ns += ns;
@@ -134,15 +164,15 @@ void LatencyTracer::Finish(uint64_t id, LatencyStage stage, TimeNs now) {
   if (total != e2e) {
     // Every interval between Begin and Finish must be attributed to exactly
     // one stage; a mismatch means a stamp site double-charged or skipped.
-    ++partition_mismatches_;
+    ++shard.partition_mismatches;
   }
-  e2e_hist_.Add(e2e);
-  e2e_stats_.Add(static_cast<double>(e2e));
-  queue_wait_hist_.Add(queue_ns);
-  queue_wait_stats_.Add(static_cast<double>(queue_ns));
-  service_hist_.Add(service_ns);
-  service_stats_.Add(static_cast<double>(service_ns));
-  ++completed_;
+  shard.e2e_hist.Add(e2e);
+  shard.e2e_stats.Add(static_cast<double>(e2e));
+  shard.queue_wait_hist.Add(queue_ns);
+  shard.queue_wait_stats.Add(static_cast<double>(queue_ns));
+  shard.service_hist.Add(service_ns);
+  shard.service_stats.Add(static_cast<double>(service_ns));
+  ++shard.completed;
   r->id = 0;
 }
 
@@ -150,28 +180,52 @@ void LatencyTracer::Abandon(uint64_t id) {
   if (id == 0) {
     return;
   }
-  Record& r = ring_[id & mask_];
+  const size_t shard_index = id >> kShardShift;
+  Record& r = shards_[shard_index < shards_.size() ? shard_index : 0].ring[id & mask_];
   if (r.id != id) {
     return;  // Already gone; dropping a dead record twice is not an error.
   }
   r.id = 0;
-  ++abandoned_;
+  ++CurShard().abandoned;
 }
 
 void LatencyTracer::Clear() {
-  for (Record& r : ring_) {
-    r = Record{};
+  for (Shard& shard : shards_) {
+    shard = Shard{};
+    shard.ring.resize(mask_ + 1);
   }
-  next_id_ = 1;
-  stage_hist_ = {};
-  stage_stats_ = {};
-  e2e_hist_ = LogHistogram();
-  e2e_stats_ = RunningStats();
-  queue_wait_hist_ = LogHistogram();
-  queue_wait_stats_ = RunningStats();
-  service_hist_ = LogHistogram();
-  service_stats_ = RunningStats();
-  completed_ = abandoned_ = overwritten_ = stale_ = partition_mismatches_ = 0;
+}
+
+LogHistogram LatencyTracer::stage_hist(LatencyStage stage) const {
+  LogHistogram h;
+  for (const Shard& s : shards_) {
+    h.Merge(s.stage_hist[static_cast<size_t>(stage)]);
+  }
+  return h;
+}
+
+RunningStats LatencyTracer::stage_stats(LatencyStage stage) const {
+  RunningStats st;
+  for (const Shard& s : shards_) {
+    st.Merge(s.stage_stats[static_cast<size_t>(stage)]);
+  }
+  return st;
+}
+
+LogHistogram LatencyTracer::e2e_hist() const {
+  LogHistogram h;
+  for (const Shard& s : shards_) {
+    h.Merge(s.e2e_hist);
+  }
+  return h;
+}
+
+RunningStats LatencyTracer::e2e_stats() const {
+  RunningStats st;
+  for (const Shard& s : shards_) {
+    st.Merge(s.e2e_stats);
+  }
+  return st;
 }
 
 namespace {
@@ -195,21 +249,31 @@ LatencyStageSummary Summarize(const std::string& name, const std::string& cls,
 
 LatencyReport LatencyTracer::Report() const {
   LatencyReport report;
-  report.completed = completed_;
-  report.abandoned = abandoned_;
-  report.overwritten = overwritten_;
-  report.stale = stale_;
+  report.completed = completed();
+  report.abandoned = abandoned();
+  report.overwritten = overwritten();
+  report.stale = stale();
   for (int i = 0; i < kNumLatencyStages; ++i) {
     const LatencyStage stage = static_cast<LatencyStage>(i);
     report.stages.push_back(Summarize(LatencyStageName(stage),
                                       LatencyStageIsQueue(stage) ? "queue" : "service",
-                                      stage_hist_[static_cast<size_t>(i)],
-                                      stage_stats_[static_cast<size_t>(i)]));
+                                      stage_hist(stage), stage_stats(stage)));
   }
-  report.stages.push_back(Summarize("queue_wait", "total", queue_wait_hist_,
-                                    queue_wait_stats_));
-  report.stages.push_back(Summarize("service", "total", service_hist_, service_stats_));
-  report.stages.push_back(Summarize("e2e", "total", e2e_hist_, e2e_stats_));
+  // Class totals, merged across shards in island order.
+  LogHistogram queue_wait_hist;
+  RunningStats queue_wait_stats;
+  LogHistogram service_hist;
+  RunningStats service_stats;
+  for (const Shard& s : shards_) {
+    queue_wait_hist.Merge(s.queue_wait_hist);
+    queue_wait_stats.Merge(s.queue_wait_stats);
+    service_hist.Merge(s.service_hist);
+    service_stats.Merge(s.service_stats);
+  }
+  report.stages.push_back(Summarize("queue_wait", "total", queue_wait_hist,
+                                    queue_wait_stats));
+  report.stages.push_back(Summarize("service", "total", service_hist, service_stats));
+  report.stages.push_back(Summarize("e2e", "total", e2e_hist(), e2e_stats()));
   return report;
 }
 

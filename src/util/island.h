@@ -1,0 +1,26 @@
+// Thread-local island context for the partitioned simulator (DESIGN.md §13).
+//
+// When SimPartition runs islands on worker threads, each worker announces
+// which island it is currently executing before entering that island's epoch
+// slice. Subsystems that shard per-island state (PacketPool free lists,
+// LatencyTracer/CausalTracer rings) key off this id instead of taking a lock
+// on their hot paths. Serial runs never set it, so the default of 0 keeps
+// every pre-existing single-threaded path on shard 0 unchanged.
+#ifndef SRC_UTIL_ISLAND_H_
+#define SRC_UTIL_ISLAND_H_
+
+namespace tas {
+
+namespace internal {
+inline thread_local int g_current_island = 0;
+}  // namespace internal
+
+// Island whose events the calling thread is currently executing (0 outside a
+// partitioned run: the serial simulator and the control island share id 0).
+inline int CurrentIslandId() { return internal::g_current_island; }
+
+inline void SetCurrentIslandId(int island) { internal::g_current_island = island; }
+
+}  // namespace tas
+
+#endif  // SRC_UTIL_ISLAND_H_

@@ -43,7 +43,13 @@ void RunningStats::Merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
-double RunningStats::mean() const { return count_ == 0 ? 0 : mean_; }
+// sum/count instead of the Welford running mean: integer-valued samples
+// (every latency is whole nanoseconds) sum exactly in ANY order, so merged
+// per-island stats report byte-identical means to a serial run (DESIGN.md
+// §13). The Welford mean_ stays maintained for the variance recurrence.
+double RunningStats::mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
 double RunningStats::min() const { return count_ == 0 ? 0 : min_; }
 double RunningStats::max() const { return count_ == 0 ? 0 : max_; }
 

@@ -278,12 +278,14 @@ TEST(ChaosTest, CorruptionDroppedByNicChecksumWithoutByteValidation) {
 
 TEST(ChaosTest, GilbertElliottBurstLossRecovers) {
   LinkConfig link = ChaosLink();
-  // Mean burst: 4 packets at 90% loss; bursts start on ~1% of packets.
-  link.faults.Add(GilbertElliottLoss(0.01, 0.25, 0.9));
+  // Mean burst: 4 packets at 90% loss; bursts start on ~2% of packets. The
+  // transfer is long enough that the data direction's own burst process (each
+  // direction draws from its own rng stream) reliably clips data packets.
+  link.faults.Add(GilbertElliottLoss(0.02, 0.25, 0.9));
   auto exp = Experiment::PointToPoint(TasSpec(), TasSpec(), link);
 
   RecordingServer server(exp->host(0).stack(), 7000);
-  constexpr size_t kTotal = 100000;
+  constexpr size_t kTotal = 300000;
   PatternClient client(exp->host(1).stack(), exp->host(0).ip(), 7000, kTotal);
   server.Start();
   client.Start();
@@ -347,7 +349,9 @@ TEST(ChaosTest, SwitchUplinkLossWindowHitsCrossSwitchTraffic) {
   LinkConfig host_link = ChaosLink();
   LinkConfig bottleneck = ChaosLink();
   auto exp = Experiment::Custom(
-      [&](Simulator* sim) { return MakeDumbbell(sim, 1, 1, host_link, bottleneck); },
+      [&](Simulator* sim, SimPartition* partition) {
+        return MakeDumbbell(sim, 1, 1, host_link, bottleneck, partition);
+      },
       {TasSpec()});
   Link* uplink = exp->net()->SwitchLink(exp->net()->switch_at(0), exp->net()->switch_at(1));
   ASSERT_NE(uplink, nullptr);
