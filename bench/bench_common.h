@@ -76,6 +76,48 @@ inline HostSpec ServerSpec(StackKind kind, int app_cores, int stack_cores,
   return spec;
 }
 
+// Flow-table occupancy / probe report, captured from a TAS host's service
+// after a run. One measurement path shared by fig4_connscale (per-row
+// columns) and bench/million_flow_churn (gated JSON), so the two benches can
+// never drift apart on how probe length is measured.
+struct FlowTableReport {
+  bool valid = false;  // False for baseline stacks (no TAS service).
+  size_t flows = 0;
+  size_t capacity = 0;
+  double load_factor = 0;
+  double avg_probe_groups = 0;  // Mean 16-slot groups examined per Find.
+  uint64_t probe_p50 = 0;
+  uint64_t probe_p99 = 0;
+  uint64_t max_probe = 0;
+  uint64_t rehashes = 0;
+  uint64_t drift_rebuilds = 0;
+  uint64_t relocated = 0;
+  uint64_t max_reloc_slots = 0;
+  uint64_t forced_finishes = 0;
+};
+
+inline FlowTableReport CaptureFlowTableReport(TasService* tas) {
+  FlowTableReport r;
+  if (tas == nullptr) {
+    return r;
+  }
+  const FlowTable& t = tas->flow_table();
+  r.valid = true;
+  r.flows = t.size();
+  r.capacity = t.capacity();
+  r.load_factor = t.LoadFactor();
+  r.avg_probe_groups = t.AvgProbeLength();
+  r.probe_p50 = t.probe_hist().ApproxPercentile(50);
+  r.probe_p99 = t.probe_hist().ApproxPercentile(99);
+  r.max_probe = t.stats().max_probe;
+  r.rehashes = t.stats().rehashes;
+  r.drift_rebuilds = t.stats().drift_rebuilds;
+  r.relocated = t.stats().relocated;
+  r.max_reloc_slots = t.stats().max_reloc_slots;
+  r.forced_finishes = t.stats().forced_finishes;
+  return r;
+}
+
 struct EchoRunConfig {
   StackKind server_stack = StackKind::kTas;
   int server_app_cores = 2;
@@ -101,6 +143,7 @@ struct EchoRunResult {
   double p99_us = 0;
   uint64_t server_requests = 0;
   uint64_t reconnects = 0;
+  FlowTableReport server_flow_table;  // valid only for TAS servers.
 };
 
 inline EchoRunResult RunEcho(EchoRunConfig config) {
@@ -166,6 +209,7 @@ inline EchoRunResult RunEcho(EchoRunConfig config) {
   result.median_us = clients[0]->latency().Median();
   result.p99_us = clients[0]->latency().Percentile(99);
   result.server_requests = server.requests_served() - server_before;
+  result.server_flow_table = CaptureFlowTableReport(exp->host(0).tas());
   if (config.mode == EchoServerConfig::Mode::kRxOnly) {
     // One-directional RX runs are measured at the server.
     result.mops = static_cast<double>(result.server_requests) / ToSec(config.measure) / 1e6;

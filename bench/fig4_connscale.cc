@@ -22,9 +22,15 @@ void Run() {
     connection_counts = {1000, 8000, 32000, 64000};
   }
 
-  TablePrinter table({"Connections", "TAS mOps", "IX mOps", "Linux mOps"});
+  // TAS columns beyond the paper figure: server flow-table occupancy, load
+  // factor, and probe-length p99 (groups per Find) from the same measurement
+  // path as bench/million_flow_churn (CaptureFlowTableReport), so connection
+  // scaling and lookup cost are read off one table.
+  TablePrinter table({"Connections", "TAS mOps", "IX mOps", "Linux mOps", "TAS flows",
+                      "TAS load", "TAS probe p99"});
   for (size_t conns : connection_counts) {
     double mops[3];
+    FlowTableReport tas_table;
     const StackKind kinds[] = {StackKind::kTas, StackKind::kIx, StackKind::kLinux};
     for (int i = 0; i < 3; ++i) {
       EchoRunConfig config;
@@ -42,9 +48,14 @@ void Run() {
       config.response_bytes = 64;
       config.buffer_bytes = 2048;  // Keep 64K-connection memory bounded.
       config.measure = Ms(10);
-      mops[i] = RunEcho(config).mops;
+      const EchoRunResult result = RunEcho(config);
+      mops[i] = result.mops;
+      if (kinds[i] == StackKind::kTas) {
+        tas_table = result.server_flow_table;
+      }
     }
-    table.AddRow(conns, Fmt(mops[0], 2), Fmt(mops[1], 2), Fmt(mops[2], 2));
+    table.AddRow(conns, Fmt(mops[0], 2), Fmt(mops[1], 2), Fmt(mops[2], 2), tas_table.flows,
+                 Fmt(tas_table.load_factor, 2), tas_table.probe_p99);
   }
   table.Print();
   std::cout << "\nPaper: at 1K conns TAS ~= 0.95x IX and 5.1x Linux; by 64K conns IX has\n"

@@ -1,0 +1,514 @@
+// million_flow_churn: million-flow scale-out gate for the group-probed flow
+// table and RSS flow-group steering (ROADMAP million-flow item; paper §3.1
+// capacity claim + §3.4 scaling controller).
+//
+// Phase A drives the FlowTable directly: 1.2M live 4-tuples, zipf-skewed
+// lookups, and erase+reinsert churn, plus a small-table exercise that forces
+// tombstone-drift rebuilds. Phase B drives a full TasService: establish
+// ScalePick(128K, 1M) flows, inject zipf-skewed pure-ACK traffic into the
+// NIC with load-aware group migration enabled, churn connections each round
+// (stale FlowIds must reject), and run the whole thing TWICE to assert
+// same-seed byte-identical results via a state fingerprint.
+//
+// Self-gating: exits nonzero when an invariant fails (forced rehash
+// finishes, relocation stride over one epoch, lost keys, fingerprint
+// divergence, latency partition mismatches) or when probe-length p99 /
+// events-per-packet regress past the optional baseline JSON (argv[1], the
+// archived MILLION_FLOW_JSON of a good run). CI runs the reduced scale and
+// archives the JSON next to perf_smoke's; see EXPERIMENTS.md.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/tas/fast_path.h"
+#include "src/tas/steering.h"
+#include "src/trace/latency.h"
+#include "src/util/zipf.h"
+
+namespace tas {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+long PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// Deterministic 4-tuple for table-key index i (unique for i < 15M).
+FlowKey TableKey(uint64_t i) {
+  FlowKey key;
+  key.local_port = static_cast<uint16_t>(1024 + (i % 60000));
+  const uint64_t g = i / 60000;
+  key.peer_ip = MakeIp(10, static_cast<uint8_t>(g >> 8), static_cast<uint8_t>(g), 2);
+  key.peer_port = 40000;
+  return key;
+}
+
+FlowId IdOf(uint64_t i) {
+  return MakeFlowId(static_cast<uint32_t>(i) & kFlowSlotMask,
+                    static_cast<uint32_t>(i >> kFlowSlotBits));
+}
+
+void Fail(std::vector<std::string>& failures, const std::string& msg) {
+  if (failures.size() < 16) {
+    failures.push_back(msg);
+  }
+}
+
+// --- Phase A: direct table churn at 1.2M live keys --------------------------
+
+struct TableResult {
+  size_t flows = 0;
+  size_t zipf_lookups = 0;
+  size_t churn_ops = 0;
+  uint64_t lookup_hits = 0;
+  size_t capacity = 0;
+  double load_factor = 0;
+  double avg_probe = 0;
+  uint64_t probe_p50 = 0;
+  uint64_t probe_p99 = 0;
+  FlowTableStats stats;
+  uint64_t drift_rebuilds_small = 0;
+  double wall_sec = 0;
+};
+
+TableResult RunTableChurn(std::vector<std::string>& failures) {
+  // The >= 1M-concurrent-flows gate runs at BOTH scales: the table-level
+  // phase is cheap (tens of MB), so CI exercises the real capacity target.
+  const size_t kFlows = 1'200'000;
+  const size_t kLookups = ScalePick(1'000'000, 4'000'000);
+  const size_t kChurn = ScalePick(400'000, 1'000'000);
+
+  TableResult r;
+  r.flows = kFlows;
+  const auto start = Clock::now();
+
+  FlowTable table;
+  // keys[rank] = current key index occupying that rank slot (churn replaces).
+  std::vector<uint64_t> keys(kFlows);
+  for (uint64_t i = 0; i < kFlows; ++i) {
+    keys[i] = i;
+    table.Insert(TableKey(i), IdOf(i));
+  }
+  uint64_t next_key = kFlows;
+  if (table.size() != kFlows) {
+    Fail(failures, "phaseA: size after bulk insert != flow count");
+  }
+
+  // Zipf-skewed lookups (paper §5.3 uses s=0.9 for key popularity).
+  ZipfGenerator zipf(kFlows, 0.9);
+  Rng rng(0x5EED5);
+  for (size_t l = 0; l < kLookups; ++l) {
+    const size_t rank = zipf.Sample(rng);
+    if (table.Find(TableKey(keys[rank])) == IdOf(keys[rank])) {
+      ++r.lookup_hits;
+    } else {
+      Fail(failures, "phaseA: zipf lookup missed a live key");
+    }
+    if ((l & 0xF) == 0 && table.Find(TableKey(next_key + rank)) != kInvalidFlow) {
+      Fail(failures, "phaseA: absent key reported present");
+    }
+  }
+  r.zipf_lookups = kLookups;
+
+  // Erase+reinsert churn with interleaved zipf reads (find-during-rehash).
+  for (size_t op = 0; op < kChurn; ++op) {
+    const size_t victim = static_cast<size_t>(rng.Next() % kFlows);
+    if (!table.Erase(TableKey(keys[victim]))) {
+      Fail(failures, "phaseA: churn erase lost a live key");
+    }
+    keys[victim] = next_key++;
+    table.Insert(TableKey(keys[victim]), IdOf(keys[victim]));
+    if ((op & 0x3) == 0) {
+      const size_t rank = zipf.Sample(rng);
+      if (table.Find(TableKey(keys[rank])) != IdOf(keys[rank])) {
+        Fail(failures, "phaseA: lookup during churn returned wrong id");
+      }
+    }
+  }
+  r.churn_ops = kChurn;
+  if (table.size() != kFlows) {
+    Fail(failures, "phaseA: size drifted across churn");
+  }
+
+  r.capacity = table.capacity();
+  r.load_factor = table.LoadFactor();
+  r.avg_probe = table.AvgProbeLength();
+  r.probe_p50 = table.probe_hist().ApproxPercentile(50);
+  r.probe_p99 = table.probe_hist().ApproxPercentile(99);
+  r.stats = table.stats();
+  r.wall_sec = Seconds(start, Clock::now());
+
+  // Hard invariants: incremental rehash never stalls the fast path for more
+  // than one bounded stride, and never degenerates to a blocking rebuild.
+  if (r.stats.forced_finishes != 0) {
+    Fail(failures, "phaseA: rehash forced to finish synchronously");
+  }
+  if (r.stats.max_reloc_slots > FlowTable::kRehashStrideSlots) {
+    Fail(failures, "phaseA: relocation step exceeded the per-op stride bound");
+  }
+  if (r.probe_p99 > 8) {
+    Fail(failures, "phaseA: probe p99 over 8 groups at steady load");
+  }
+  return r;
+}
+
+// Tombstone-drift exercise on a small table: hold live count far below the
+// drift bound while erase+insert churn accretes tombstones until occupancy
+// trips the 7/8 check — the rebuild must keep capacity and keep every key.
+uint64_t RunDriftExercise(std::vector<std::string>& failures) {
+  FlowTable table(4096);
+  const uint64_t kBase = 10'000'000;  // Distinct key range from phase A.
+  uint64_t next = kBase;
+  std::vector<uint64_t> live;
+  // Fill to one below the growth trigger (occupancy 3583 of 4096*7/8).
+  for (size_t i = 0; i < 3583; ++i) {
+    live.push_back(next);
+    table.Insert(TableKey(next), IdOf(next));
+    ++next;
+  }
+  // Erase most: occupancy stays 3583 but is now mostly tombstones.
+  size_t head = 0;
+  while (live.size() - head > 783) {
+    table.Erase(TableKey(live[head++]));
+  }
+  const size_t cap_before = table.capacity();
+  // Churn at constant live count until an insert lands on an empty slot and
+  // the next occupancy check trips as DRIFT (live 784 << 7/16 of capacity).
+  size_t iters = 0;
+  while (table.stats().drift_rebuilds == 0 && iters < 4000) {
+    live.push_back(next);
+    table.Insert(TableKey(next), IdOf(next));
+    ++next;
+    table.Erase(TableKey(live[head++]));
+    ++iters;
+  }
+  if (table.stats().drift_rebuilds == 0) {
+    Fail(failures, "drift: tombstone churn never triggered a drift rebuild");
+  }
+  if (table.capacity() != cap_before) {
+    Fail(failures, "drift: rebuild changed capacity (expected same-size)");
+  }
+  for (size_t i = head; i < live.size(); ++i) {
+    if (table.Find(TableKey(live[i])) != IdOf(live[i])) {
+      Fail(failures, "drift: live key lost across drift rebuild");
+    }
+  }
+  return table.stats().drift_rebuilds;
+}
+
+// --- Phase B: service-level churn with group migration ----------------------
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  return h ^ (h >> 33);
+}
+
+struct SvcResult {
+  uint64_t fingerprint = 0;
+  size_t flows = 0;
+  uint64_t packets = 0;
+  uint64_t events = 0;
+  double events_per_packet = 0;
+  uint64_t fastpath_rx = 0;
+  uint64_t exceptions = 0;
+  uint64_t group_moves = 0;
+  uint64_t migrations = 0;
+  uint64_t rebalances = 0;
+  uint64_t deferred_items = 0;
+  uint64_t partition_mismatches = 0;
+  uint64_t churned = 0;
+  uint64_t stale_rejected = 0;
+  FlowTableReport table;
+  double wall_sec = 0;
+};
+
+FlowKey SvcKey(uint64_t i) {
+  FlowKey key;
+  key.local_port = static_cast<uint16_t>(2000 + (i % 50000));
+  const uint64_t g = i / 50000;
+  key.peer_ip = MakeIp(172, static_cast<uint8_t>(16 + (g >> 8)), static_cast<uint8_t>(g), 9);
+  key.peer_port = 50000;
+  return key;
+}
+
+SvcResult RunServiceChurn(std::vector<std::string>& failures) {
+  const size_t kFlows = ScalePick(131'072, 1'000'000);
+  const size_t kRounds = ScalePick(64, 128);
+  const size_t kPktsPerRound = ScalePick(256, 512);
+  const size_t kChurnPerRound = 32;
+
+  SvcResult r;
+  r.flows = kFlows;
+  const auto start = Clock::now();
+
+  // TAS server with 4 fast-path cores, load-aware group migration on, and
+  // latency stage stamping (the partition invariant must hold under
+  // migration). Tiny payload buffers: the workload is pure-ACK, so the 1M
+  // working set is flow state, not payload memory.
+  HostSpec server = ServerSpec(StackKind::kTas, 1, 4, 64);
+  server.tas.group_migration = true;
+  server.tas.migrate_imbalance = 1.15;
+  server.tas.monitor_interval = Ms(1);
+  server.tas.trace.latency_stages = true;
+  HostSpec peer;  // Linux-stack placeholder; injected traffic never crosses.
+  auto exp = Experiment::PointToPoint(server, peer, ServerLink());
+  TasService* tas = exp->host(0).tas();
+  SimNic* nic = tas->nic();
+
+  std::vector<FlowId> ids(kFlows);
+  uint64_t next_key = 0;
+  for (size_t i = 0; i < kFlows; ++i) {
+    ids[i] = tas->AllocateFlow(SvcKey(next_key++));
+    tas->flow_by_id(ids[i])->cstate = ConnState::kEstablished;
+  }
+
+  // Zipf-skewed pure ACKs: seq/ack chosen so the fast path takes the
+  // established-flow no-op path (no payload, nothing newly acked) — the run
+  // isolates lookup + steering + batching cost at million-flow occupancy.
+  ZipfGenerator zipf(kFlows, 1.0);
+  Rng traffic_rng(0xACED1);
+  uint64_t injected = 0;
+  size_t churn_cursor = 0;
+  const uint64_t events_before = exp->events_executed();
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t p = 0; p < kPktsPerRound; ++p) {
+      const Flow* f = tas->flow_by_id(ids[zipf.Sample(traffic_rng)]);
+      nic->Receive(MakeTcpPacket(f->fs.peer_ip, f->fs.peer_port, tas->local_ip(),
+                                 f->fs.local_port, f->fs.ack, f->fs.tx_tail,
+                                 TcpFlags::kAck));
+      ++injected;
+    }
+    exp->sim().RunUntil(exp->sim().Now() + Us(200));
+    // Connection churn: retire flows round-robin; their ids must go stale
+    // (generation bump) before the slot's replacement flow reuses it.
+    for (size_t c = 0; c < kChurnPerRound; ++c) {
+      const size_t victim = churn_cursor++ % kFlows;
+      const FlowId old_id = ids[victim];
+      tas->FreeFlow(old_id);
+      if (tas->flow_by_id(old_id) == nullptr) {
+        ++r.stale_rejected;
+      }
+      ids[victim] = tas->AllocateFlow(SvcKey(next_key++));
+      tas->flow_by_id(ids[victim])->cstate = ConnState::kEstablished;
+      ++r.churned;
+    }
+  }
+  exp->sim().RunUntil(exp->sim().Now() + Ms(2));  // Drain everything.
+
+  r.packets = injected;
+  r.events = exp->events_executed() - events_before;
+  r.events_per_packet =
+      injected > 0 ? static_cast<double>(r.events) / static_cast<double>(injected) : 0;
+  const TasStats& stats = tas->stats();
+  r.fastpath_rx = stats.fastpath_rx_packets;
+  r.exceptions = stats.exceptions;
+  FlowGroupSteering* steer = tas->steering();
+  r.group_moves = steer->group_moves();
+  r.migrations = steer->migrations();
+  r.rebalances = steer->rebalances();
+  r.deferred_items = steer->deferred_items();
+  r.partition_mismatches = tas->tracer().latency().partition_mismatches();
+  r.table = CaptureFlowTableReport(tas);
+
+  // State fingerprint over everything steering could perturb: per-core
+  // retirement counters, per-entry NIC hits, steering/stat counters, and a
+  // sample of per-flow TCP state. Two same-seed runs must match bit-exactly.
+  uint64_t h = 0xCBF29CE484222325ull;
+  h = Mix(h, static_cast<uint64_t>(exp->sim().Now()));
+  h = Mix(h, r.events);
+  for (int i = 0; i < tas->max_cores(); ++i) {
+    h = Mix(h, tas->fastpath(i)->items_processed());
+  }
+  for (const uint64_t hits : nic->entry_hits()) {
+    h = Mix(h, hits);
+  }
+  h = Mix(h, r.group_moves);
+  h = Mix(h, r.migrations);
+  h = Mix(h, r.rebalances);
+  h = Mix(h, r.deferred_items);
+  h = Mix(h, stats.fastpath_rx_packets);
+  h = Mix(h, stats.cross_core_packets);
+  h = Mix(h, stats.exceptions);
+  h = Mix(h, r.table.probe_p99);
+  h = Mix(h, tas->flow_table().stats().lookups);
+  const size_t stride = kFlows / 64 == 0 ? 1 : kFlows / 64;
+  for (size_t i = 0; i < kFlows; i += stride) {
+    const Flow* f = tas->flow_by_id(ids[i]);
+    h = Mix(h, f == nullptr ? 0 : (static_cast<uint64_t>(f->fs.ack) << 32) | f->fs.seq);
+  }
+  r.fingerprint = h;
+  r.wall_sec = Seconds(start, Clock::now());
+
+  if (r.stale_rejected != r.churned) {
+    Fail(failures, "phaseB: a freed FlowId still resolved (stale id accepted)");
+  }
+  if (r.partition_mismatches != 0) {
+    Fail(failures, "phaseB: latency partition mismatches under migration");
+  }
+  if (r.table.forced_finishes != 0 ||
+      r.table.max_reloc_slots > FlowTable::kRehashStrideSlots) {
+    Fail(failures, "phaseB: service flow table violated the rehash stride bound");
+  }
+  if (r.exceptions != 0) {
+    Fail(failures, "phaseB: established-flow ACKs took the exception path");
+  }
+  return r;
+}
+
+// --- Baseline comparison -----------------------------------------------------
+
+// Pulls "key":<number> out of an archived MILLION_FLOW_JSON line.
+double JsonNumber(const std::string& text, const std::string& key, double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+void GateAgainstBaseline(const std::string& path, const TableResult& t, const SvcResult& s,
+                         std::vector<std::string>& failures) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(failures, "baseline: cannot open " + path);
+    return;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const double base_p99 = JsonNumber(text, "probe_p99", 0);
+  const double base_epp = JsonNumber(text, "events_per_packet", 0);
+  // probe_p99 is a log-bucket bound: a regression shows up as a bucket jump,
+  // so allow 1.5x before failing. events-per-packet is continuous; 30%.
+  if (base_p99 > 0 && static_cast<double>(t.probe_p99) > base_p99 * 1.5 + 1e-9) {
+    Fail(failures, "baseline: probe p99 regressed vs " + path);
+  }
+  if (base_epp > 0 && s.events_per_packet > base_epp * 1.30) {
+    Fail(failures, "baseline: events/packet regressed vs " + path);
+  }
+}
+
+int Run(int argc, char** argv) {
+  PrintHeader("million_flow_churn: flow-table + steering at 1M-flow scale",
+              "paper §3.1 capacity / §3.4 scaling, ROADMAP million-flow item");
+  std::vector<std::string> failures;
+
+  const TableResult t = RunTableChurn(failures);
+  const uint64_t drift = RunDriftExercise(failures);
+  const SvcResult a = RunServiceChurn(failures);
+  const SvcResult b = RunServiceChurn(failures);
+  const bool deterministic = a.fingerprint == b.fingerprint;
+  if (!deterministic) {
+    Fail(failures, "phaseB: same-seed reruns diverged (fingerprint mismatch)");
+  }
+  if (a.rebalances == 0 || a.group_moves == 0) {
+    Fail(failures, "phaseB: load-aware migration never fired under zipf skew");
+  }
+
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow("A: live flows", t.flows);
+  table.AddRow("A: zipf lookups", t.zipf_lookups);
+  table.AddRow("A: churn ops", t.churn_ops);
+  table.AddRow("A: capacity / load", Fmt(static_cast<double>(t.capacity) / 1e6, 2) + "M / " +
+                                         Fmt(t.load_factor, 2));
+  table.AddRow("A: probe p50/p99 (groups)",
+               std::to_string(t.probe_p50) + " / " + std::to_string(t.probe_p99));
+  table.AddRow("A: avg probe", Fmt(t.avg_probe, 3));
+  table.AddRow("A: rehashes (grow+drift)", t.stats.rehashes);
+  table.AddRow("A: max reloc slots", t.stats.max_reloc_slots);
+  table.AddRow("A: wall sec", Fmt(t.wall_sec, 2));
+  table.AddRow("drift rebuilds (small table)", drift);
+  table.AddRow("B: flows", a.flows);
+  table.AddRow("B: packets injected", a.packets);
+  table.AddRow("B: events/packet", Fmt(a.events_per_packet, 2));
+  table.AddRow("B: fastpath rx / exceptions",
+               std::to_string(a.fastpath_rx) + " / " + std::to_string(a.exceptions));
+  table.AddRow("B: group moves / drains",
+               std::to_string(a.group_moves) + " / " + std::to_string(a.migrations));
+  table.AddRow("B: rebalances / deferred",
+               std::to_string(a.rebalances) + " / " + std::to_string(a.deferred_items));
+  table.AddRow("B: churned / stale rejected",
+               std::to_string(a.churned) + " / " + std::to_string(a.stale_rejected));
+  table.AddRow("B: partition mismatches", a.partition_mismatches);
+  table.AddRow("B: table probe p99", a.table.probe_p99);
+  table.AddRow("B: deterministic rerun", deterministic ? "yes" : "NO");
+  table.AddRow("B: wall sec (each run)", Fmt(a.wall_sec, 2) + " / " + Fmt(b.wall_sec, 2));
+  table.AddRow("peak RSS MiB", Fmt(static_cast<double>(PeakRssKb()) / 1024.0, 1));
+  table.Print();
+
+  std::cout << "MILLION_FLOW_JSON {"
+            << "\"benchmark\":\"million_flow_churn\""
+            << ",\"scale\":\"" << (FullScale() ? "full" : "reduced") << "\""
+            << ",\"table_flows\":" << t.flows
+            << ",\"zipf_lookups\":" << t.zipf_lookups
+            << ",\"churn_ops\":" << t.churn_ops
+            << ",\"capacity\":" << t.capacity
+            << ",\"load_factor\":" << t.load_factor
+            << ",\"avg_probe\":" << t.avg_probe
+            << ",\"probe_p50\":" << t.probe_p50
+            << ",\"probe_p99\":" << t.probe_p99
+            << ",\"max_probe\":" << t.stats.max_probe
+            << ",\"rehashes\":" << t.stats.rehashes
+            << ",\"drift_rebuilds\":" << t.stats.drift_rebuilds
+            << ",\"relocated\":" << t.stats.relocated
+            << ",\"max_reloc_slots\":" << t.stats.max_reloc_slots
+            << ",\"forced_finishes\":" << t.stats.forced_finishes
+            << ",\"tombstones_reused\":" << t.stats.tombstones_reused
+            << ",\"drift_rebuilds_small\":" << drift
+            << ",\"table_wall_sec\":" << t.wall_sec
+            << ",\"svc_flows\":" << a.flows
+            << ",\"svc_packets\":" << a.packets
+            << ",\"svc_events\":" << a.events
+            << ",\"events_per_packet\":" << a.events_per_packet
+            << ",\"svc_fastpath_rx\":" << a.fastpath_rx
+            << ",\"svc_exceptions\":" << a.exceptions
+            << ",\"group_moves\":" << a.group_moves
+            << ",\"migrations\":" << a.migrations
+            << ",\"rebalances\":" << a.rebalances
+            << ",\"deferred_items\":" << a.deferred_items
+            << ",\"partition_mismatches\":" << a.partition_mismatches
+            << ",\"svc_churned\":" << a.churned
+            << ",\"svc_stale_rejected\":" << a.stale_rejected
+            << ",\"svc_probe_p99\":" << a.table.probe_p99
+            << ",\"svc_load_factor\":" << a.table.load_factor
+            << ",\"deterministic\":" << (deterministic ? 1 : 0)
+            << ",\"fingerprint\":" << a.fingerprint
+            << ",\"svc_wall_sec\":" << a.wall_sec
+            << ",\"peak_rss_kb\":" << PeakRssKb() << "}" << std::endl;
+
+  if (argc > 1) {
+    GateAgainstBaseline(argv[1], t, a, failures);
+  }
+  if (failures.empty()) {
+    std::cout << "MILLION_FLOW_GATES PASS\n";
+    return 0;
+  }
+  for (const std::string& f : failures) {
+    std::cout << "GATE FAIL: " << f << "\n";
+  }
+  std::cout << "MILLION_FLOW_GATES FAIL (" << failures.size() << ")\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tas
+
+int main(int argc, char** argv) { return tas::bench::Run(argc, argv); }

@@ -1,15 +1,19 @@
 #include "src/net/link.h"
 
-#include <atomic>
-
 #include "src/net/packet_pool.h"
 #include "src/trace/latency.h"
 
 namespace tas {
 namespace {
 
-// Deterministic per-link seeds: simulations must be reproducible run-to-run.
-std::atomic<uint64_t> g_link_counter{1};
+// splitmix64 finalizer: spreads endpoint identities (small IPs, switch
+// indices) over the full seed space before they are XOR-folded together.
+uint64_t MixIdentity(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 // Corruption damages bits the checksums actually cover: anywhere past the
 // Ethernet header (IPv4 header -> IP checksum, TCP header/payload -> TCP
@@ -33,14 +37,11 @@ void FlipWireBits(std::vector<uint8_t>& bytes, uint32_t flips, Rng& rng) {
 Link::Link(Simulator* sim, const LinkConfig& config)
     : sim_(sim), side_sim_{sim, sim}, config_(config) {
   TAS_CHECK(config.gbps > 0);
-  const uint64_t base_seed =
-      config.rng_seed != 0 ? config.rng_seed
-                           : 0xC0FFEEull ^ (g_link_counter.fetch_add(1) * 0x9E37ull);
+  explicit_seed_ = config.rng_seed != 0;
+  base_seed_ = explicit_seed_ ? config.rng_seed : 0xC0FFEEull;
+  ReseedDirections();
   for (int side = 0; side < 2; ++side) {
     Direction& d = dir_[side];
-    // Each direction owns its stream: the two sides may execute on different
-    // islands, so sharing one Rng would race (and entangle their draws).
-    d.rng = Rng(base_seed + static_cast<uint64_t>(side) * 0x632BE59BD9B4E019ull);
     // The legacy drop_rate shim goes first so its rng draws match the
     // pre-impairment implementation packet for packet.
     if (config_.drop_rate > 0) {
@@ -48,6 +49,23 @@ Link::Link(Simulator* sim, const LinkConfig& config)
     }
     d.pipeline.AddAll(config_.faults);
   }
+}
+
+void Link::ReseedDirections() {
+  for (int side = 0; side < 2; ++side) {
+    // Each direction owns its stream: the two sides may execute on different
+    // islands, so sharing one Rng would race (and entangle their draws).
+    dir_[side].rng =
+        Rng(base_seed_ + static_cast<uint64_t>(side) * 0x632BE59BD9B4E019ull);
+  }
+}
+
+void Link::MixDefaultSeed(uint64_t identity) {
+  if (explicit_seed_) {
+    return;
+  }
+  base_seed_ ^= MixIdentity(identity);
+  ReseedDirections();
 }
 
 void Link::set_drop_rate(double rate) {

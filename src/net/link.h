@@ -41,9 +41,12 @@ struct LinkConfig {
   // Egress impairments, instantiated per direction (each direction gets its
   // own instances, so burst-loss state and stats stay independent).
   FaultConfig faults;
-  // Seed for the link's fault/validation RNG. 0 derives a unique deterministic
-  // seed from link creation order; set explicitly when a scenario must be
-  // byte-identical across separately constructed experiments.
+  // Seed for the link's fault/validation RNG. 0 (the default) derives the
+  // seed from the link's endpoint identities as the topology attaches them
+  // (Link::MixDefaultSeed), so equal topologies get equal seeds regardless of
+  // how many links other experiments in the process created before. Set
+  // explicitly only when a scenario must decorrelate otherwise-identical
+  // links (e.g. two parallel paths between the same endpoints).
   uint64_t rng_seed = 0;
   // Debug/validation mode: round-trip every packet through the byte-level
   // wire encoding (Serialize -> Parse, including checksums) and deliver the
@@ -85,6 +88,14 @@ class Link {
   // side is 0 or 1. A packet sent from side s is delivered to the device
   // attached at side 1-s.
   void Attach(int side, NetDevice* device);
+
+  // Folds an endpoint identity (host IP, switch index) into the default RNG
+  // seed and re-derives both directions' streams. The topology calls this as
+  // it wires each endpoint, making default link seeds a pure function of the
+  // topology instead of process-global link creation order. XOR-commutative,
+  // so the two endpoints may mix in either order. No-op when the config set
+  // an explicit rng_seed. Must not be called after traffic starts.
+  void MixDefaultSeed(uint64_t identity);
 
   // Island assignment (DESIGN.md §13): side s's egress state runs on
   // `side<s>`'s simulator and deliveries toward side s land there too. Call
@@ -206,6 +217,9 @@ class Link {
     Rng rng;
   };
 
+  // Re-creates both directions' RNGs from base_seed_ (construction and each
+  // MixDefaultSeed call).
+  void ReseedDirections();
   // FIFO admission after impairments: occupancy sampling, overflow drop, ECN
   // marking, optional wire-format validation.
   void Enqueue(int from_side, PacketPtr pkt);
@@ -225,6 +239,8 @@ class Link {
   // assigns the endpoints to islands (DESIGN.md §13).
   Simulator* side_sim_[2];
   LinkConfig config_;
+  uint64_t base_seed_;
+  bool explicit_seed_;
   Direction dir_[2];
 };
 

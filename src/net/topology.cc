@@ -52,6 +52,11 @@ int Network::AttachHost(IpAddr ip, Switch* sw, const LinkConfig& config) {
   }
   TAS_CHECK(sw_index != std::numeric_limits<size_t>::max());
 
+  // Default link seed = f(endpoint identities): host IP and switch index,
+  // tagged so the two identity spaces cannot collide.
+  link->MixDefaultSeed((1ull << 40) | ip);
+  link->MixDefaultSeed((2ull << 40) | sw_index);
+
   HostPort hp;
   hp.end = LinkEnd{link, 0};
   hp.access_link = link;
@@ -78,6 +83,7 @@ int Network::AttachHostToLink(IpAddr ip, Link* link, int side) {
       RegisterIslandEdges(link);
     }
   }
+  link->MixDefaultSeed((1ull << 40) | ip);
   HostPort hp;
   hp.end = LinkEnd{link, side};
   hp.access_link = link;
@@ -112,6 +118,8 @@ void Network::ConnectSwitches(Switch* a, Switch* b, const LinkConfig& config) {
     }
   }
   TAS_CHECK(ia != std::numeric_limits<size_t>::max() && ib != std::numeric_limits<size_t>::max());
+  link->MixDefaultSeed((2ull << 40) | ia);
+  link->MixDefaultSeed((2ull << 40) | ib);
   switch_edges_.push_back(SwitchEdge{ia, ib, port_a, port_b, link});
 }
 

@@ -16,6 +16,7 @@ SimNic::SimNic(Simulator* sim, HostPort* port, const NicConfig& config)
     rings_.emplace_back(std::make_unique<Ring>());
   }
   redirection_.resize(config.rss_table_entries);
+  entry_hits_.assign(config.rss_table_entries, 0);
   SetActiveQueues(config.num_queues);
   rx_pipeline_.AddAll(config.rx_faults);
   port->end.Attach(this);
@@ -27,10 +28,6 @@ int SimNic::RedirectionEntryFor(const Packet& pkt) const {
           ? SymmetricFlowHash(pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port)
           : FlowHash(pkt.ip.src, pkt.tcp.src_port, pkt.ip.dst, pkt.tcp.dst_port);
   return static_cast<int>(hash % redirection_.size());
-}
-
-int SimNic::SelectQueue(const Packet& pkt) const {
-  return redirection_[static_cast<size_t>(RedirectionEntryFor(pkt))];
 }
 
 void SimNic::Receive(PacketPtr pkt) {
@@ -68,7 +65,9 @@ void SimNic::Receive(PacketPtr pkt) {
 }
 
 void SimNic::DeliverToRing(PacketPtr pkt) {
-  Ring& ring = *rings_[static_cast<size_t>(SelectQueue(*pkt))];
+  const size_t entry = static_cast<size_t>(RedirectionEntryFor(*pkt));
+  ++entry_hits_[entry];
+  Ring& ring = *rings_[static_cast<size_t>(redirection_[entry])];
   if (ring.pkts.size() >= config_.ring_entries) {
     ++rx_drops_;
     if (LatencyTracer* lt = LatencyTracer::Current()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/tas/slow_path.h"
+#include "src/tas/steering.h"
 #include "src/tcp/seq.h"
 #include "src/trace/latency.h"
 
@@ -135,6 +136,7 @@ void FastPathCore::CloseBatch() {
   for (uint16_t c = 0; c < num_ctx; ++c) {
     service_->context(c)->BeginNotifyDefer();
   }
+  const uint64_t retiring = batch_rx_.size() + batch_work_.size();
   in_batch_ = true;
   for (PacketPtr& pkt : batch_rx_) {
     ProcessPacket(std::move(pkt));
@@ -157,7 +159,11 @@ void FastPathCore::CloseBatch() {
   for (uint16_t c = 0; c < num_ctx; ++c) {
     service_->context(c)->EndNotifyDefer();
   }
+  items_processed_ += retiring;
   busy_ = false;
+  // Batch retirement is the quiesce clock tick: draining flow groups whose
+  // source is this core may now be ready to flip.
+  service_->steering()->OnCoreProgress(index_);
   MaybeRun();
 }
 

@@ -57,6 +57,14 @@ class FastPathCore {
   const std::array<uint64_t, kOccBuckets>& rx_occupancy() const { return rx_occupancy_; }
   uint64_t batches() const { return batches_; }
   uint64_t batch_items() const { return batch_items_; }
+  // Items RETIRED (batch fully processed), as opposed to gathered: the
+  // monotonic progress clock flow-group quiesce drains compare against.
+  uint64_t items_processed() const { return items_processed_; }
+  // Work currently in flight on this core: queued + gathered-but-unretired.
+  // A flow group whose source core shows zero here can migrate immediately.
+  uint64_t queued_items() const {
+    return work_.size() + batch_rx_.size() + batch_work_.size();
+  }
   // High-water occupancy of the TX/command work queue (latency anatomy).
   size_t work_queue_hw() const { return work_hw_; }
 
@@ -112,6 +120,7 @@ class FastPathCore {
   std::array<uint64_t, kOccBuckets> rx_occupancy_{};
   uint64_t batches_ = 0;
   uint64_t batch_items_ = 0;
+  uint64_t items_processed_ = 0;
   size_t work_hw_ = 0;
 };
 

@@ -54,20 +54,9 @@ void RingCopyOut(const uint8_t* base, uint32_t size, uint32_t pos, uint8_t* dst,
 
 }  // namespace
 
-void Flow::Reset() {
-  fs = FlowState{};
+void FlowCold::Reset() {
   rx_mem.clear();  // clear() keeps capacity; the next resize() reuses it.
   tx_mem.clear();
-  mss = 1448;
-  peer_wscale = 0;
-  ts_echo = 0;
-  rate_bps = 10e6;
-  cc_window = 0;
-  tx_tokens = 0;
-  tokens_updated = 0;
-  next_tx_time = 0;
-  tx_pending = false;
-  cstate = ConnState::kSynSent;
   cc.reset();
   wcc.reset();
   last_seq_sampled = 0;
@@ -78,12 +67,35 @@ void Flow::Reset() {
   app_closed = false;
   fin_event_sent = false;
   closed_event_sent = false;
-  in_dirty = false;
   in_pending = false;
   ctrl_retries = 0;
   last_ctrl_send = 0;
   timewait_start = 0;
   established_at = 0;
+}
+
+FlowCold& Flow::EnsureCold() {
+  owned_cold_ = std::make_unique<FlowCold>();
+  cold_ptr_ = owned_cold_.get();
+  return *cold_ptr_;
+}
+
+void Flow::Reset() {
+  fs = FlowState{};
+  mss = 1448;
+  peer_wscale = 0;
+  ts_echo = 0;
+  rate_bps = 10e6;
+  cc_window = 0;
+  tx_tokens = 0;
+  tokens_updated = 0;
+  next_tx_time = 0;
+  tx_pending = false;
+  in_dirty = false;
+  cstate = ConnState::kSynSent;
+  if (cold_ptr_ != nullptr) {
+    cold_ptr_->Reset();
+  }
 }
 
 void Flow::CopyIntoRx(uint32_t wire_pos, const uint8_t* src, uint32_t len) {

@@ -1,7 +1,11 @@
-// Runtime flow record: the fast-path FlowState plus the bookkeeping that
-// lives outside the packed 103-byte struct — payload buffer storage
-// (conceptually untrusted app shared memory), the slow path's connection FSM
-// and congestion-control instance, and transmit pacing state.
+// Runtime flow record, split hot/cold for million-flow cache residency
+// (paper §3.1, Table 3): `Flow` is the compact record the fast path touches
+// per packet — the packed FlowState, negotiated parameters, and transmit
+// pacing — while `FlowCold` holds everything only the slow path or libTAS
+// setup/teardown touches: payload buffer storage, the congestion-control
+// instance, and the connection-FSM bookkeeping. FlowSlab stores the two in
+// parallel arrays and wires each Flow to its side record; a standalone Flow
+// (tests, scratch use) lazily owns one instead.
 #ifndef SRC_TAS_FLOW_H_
 #define SRC_TAS_FLOW_H_
 
@@ -30,13 +34,37 @@ enum class ConnState : uint8_t {
   kFreed,
 };
 
-struct Flow {
-  FlowState fs;
-
+// Cold slow-path side record. Nothing here is read on the fast-path
+// per-packet path; keeping it out of Flow keeps the hot array dense.
+struct FlowCold {
   // Payload buffer storage. In the real system these arrays live in app
   // shared memory; fs.rx_base/tx_base point at them.
   std::vector<uint8_t> rx_mem;
   std::vector<uint8_t> tx_mem;
+
+  std::unique_ptr<RateCc> cc;     // Rate mode policy...
+  std::unique_ptr<WindowCc> wcc;  // ...or window mode policy.
+  uint32_t last_seq_sampled = 0;  // RTO detection: seq unchanged across
+  int stalled_intervals = 0;      // control intervals with data outstanding.
+  bool fin_received = false;      // Peer FIN consumed (ack covers it).
+  bool fin_sent = false;
+  bool fin_acked = false;
+  bool app_closed = false;        // App requested close.
+  bool fin_event_sent = false;    // kConnFin (half-close) pushed to the app.
+  bool closed_event_sent = false;
+  bool in_pending = false;        // On the handshake/teardown scan list.
+  int ctrl_retries = 0;           // Handshake / FIN retransmission count.
+  TimeNs last_ctrl_send = 0;
+  TimeNs timewait_start = 0;
+  TimeNs established_at = 0;
+
+  // Returns to freshly-constructed state while retaining the payload buffer
+  // capacity, so slab slot recycling stays allocation-free.
+  void Reset();
+};
+
+struct Flow {
+  FlowState fs;
 
   // Negotiated TCP parameters (slow path writes once at setup).
   uint16_t mss = 1448;
@@ -53,6 +81,8 @@ struct Flow {
   TimeNs tokens_updated = 0;
   TimeNs next_tx_time = 0;      // Earliest next segment (bucket refill time).
   bool tx_pending = false;      // Work queued or pacing timer armed.
+  bool in_dirty = false;        // Queued for the next CC iteration.
+  ConnState cstate = ConnState::kSynSent;
 
   // Refreshes the bucket to `now` and returns the available byte credit.
   double RefillTokens(TimeNs now, double burst_bytes) {
@@ -62,24 +92,12 @@ struct Flow {
     return tx_tokens;
   }
 
-  // --- Slow-path state ------------------------------------------------------
-  ConnState cstate = ConnState::kSynSent;
-  std::unique_ptr<RateCc> cc;         // Rate mode policy...
-  std::unique_ptr<WindowCc> wcc;      // ...or window mode policy.
-  uint32_t last_seq_sampled = 0;  // RTO detection: seq unchanged across
-  int stalled_intervals = 0;      // control intervals with data outstanding.
-  bool fin_received = false;      // Peer FIN consumed (ack covers it).
-  bool fin_sent = false;
-  bool fin_acked = false;
-  bool app_closed = false;        // App requested close.
-  bool fin_event_sent = false;    // kConnFin (half-close) pushed to the app.
-  bool closed_event_sent = false;
-  bool in_dirty = false;          // Queued for the next CC iteration.
-  bool in_pending = false;        // On the handshake/teardown scan list.
-  int ctrl_retries = 0;           // Handshake / FIN retransmission count.
-  TimeNs last_ctrl_send = 0;
-  TimeNs timewait_start = 0;
-  TimeNs established_at = 0;
+  // --- Cold side record -----------------------------------------------------
+  // Slab-resident flows are bound to their chunk's parallel FlowCold array;
+  // a standalone Flow allocates an owned record on first access.
+  FlowCold& cold() { return cold_ptr_ != nullptr ? *cold_ptr_ : EnsureCold(); }
+  const FlowCold& cold() const { return const_cast<Flow*>(this)->cold(); }
+  void BindCold(FlowCold* cold_record) { cold_ptr_ = cold_record; }
 
   // kCloseWait is fast-path eligible too: after the peer's FIN the local
   // direction stays open (half-close), and the remaining transmit stream is
@@ -88,8 +106,8 @@ struct Flow {
     return cstate == ConnState::kEstablished || cstate == ConnState::kCloseWait;
   }
 
-  // Returns the record to freshly-constructed state while retaining the
-  // payload buffer capacity, so slab slot recycling stays allocation-free.
+  // Returns the record (hot fields and the bound cold record) to
+  // freshly-constructed state; allocation-free for slab-resident flows.
   void Reset();
 
   // --- Buffer arithmetic (all positions are free-running wire sequences) ---
@@ -104,6 +122,12 @@ struct Flow {
   // libTAS side: append payload at tx_head / read payload at rx_tail.
   uint32_t AppWriteTx(const uint8_t* src, uint32_t len);
   uint32_t AppReadRx(uint8_t* dst, uint32_t len);
+
+ private:
+  FlowCold& EnsureCold();
+
+  FlowCold* cold_ptr_ = nullptr;          // Slab-bound side record, if any.
+  std::unique_ptr<FlowCold> owned_cold_;  // Standalone-Flow fallback.
 };
 
 const char* ConnStateName(ConnState state);

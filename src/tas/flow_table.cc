@@ -1,5 +1,9 @@
 #include "src/tas/flow_table.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "src/util/logging.h"
 
 namespace tas {
@@ -11,107 +15,251 @@ size_t RoundUpPow2(size_t n) {
   return p;
 }
 
-size_t HashKey(const FlowKey& key) { return FlowKeyHash{}(key); }
+uint64_t HashKey(const FlowKey& key) { return FlowKeyHash{}(key); }
+
+constexpr uint64_t kLsbs = 0x0101010101010101ull;
+constexpr uint64_t kMsbs = 0x8080808080808080ull;
+
+uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// High bit set in every byte of `w` equal to `b`. May rarely flag a byte
+// adjacent to a true match (borrow propagation); callers follow every match
+// with a full key compare, so false positives only cost that compare. Never
+// flags empty/deleted bytes: their high bit survives the xor (fingerprints
+// have it clear), which zeroes the ~x term.
+uint64_t MatchByteMask(uint64_t w, uint8_t b) {
+  const uint64_t x = w ^ (kLsbs * b);
+  return (x - kLsbs) & ~x & kMsbs;
+}
+
+// Exact masks over the ctrl special encoding (see header): empty = 0x80 has
+// bits 1 and 0 clear, deleted = 0xFE has bit 1 set / bit 0 clear, full bytes
+// have bit 7 clear — so one shifted self-AND distinguishes them with no
+// false positives (this is why the sentinels are 0x80/0xFE, not 0/1).
+uint64_t MaskEmpty(uint64_t w) { return w & ~(w << 6) & kMsbs; }
+uint64_t MaskEmptyOrDeleted(uint64_t w) { return w & ~(w << 7) & kMsbs; }
+
+size_t ByteIndex(uint64_t mask) { return static_cast<size_t>(std::countr_zero(mask)) >> 3; }
+
+constexpr size_t kNpos = ~static_cast<size_t>(0);
 
 }  // namespace
 
 FlowTable::FlowTable(size_t initial_capacity) {
-  const size_t cap = RoundUpPow2(initial_capacity < 16 ? 16 : initial_capacity);
-  ctrl_.assign(cap, kEmpty);
+  const size_t cap =
+      RoundUpPow2(initial_capacity < kGroupSize ? kGroupSize : initial_capacity);
+  ctrl_.assign(cap, kEmptyByte);
   entries_.resize(cap);
+}
+
+// Shared probe loop: returns the slot index of `key` in one table, or kNpos.
+// Triangular probing over groups (cumulative offsets 1, 3, 6, ... visit every
+// group exactly once while the group count is a power of two); terminates at
+// the first group containing an empty byte.
+namespace {
+
+template <typename Entry>
+size_t FindSlotIn(const std::vector<uint8_t>& ctrl, const std::vector<Entry>& entries,
+                  const FlowKey& key, uint64_t hash, uint64_t* probe) {
+  const uint8_t h2 = static_cast<uint8_t>(hash & 0x7F);
+  const size_t ngroups = ctrl.size() / FlowTable::kGroupSize;
+  const size_t gmask = ngroups - 1;
+  size_t g = (hash >> 7) & gmask;
+  for (size_t step = 1; step <= ngroups; ++step) {
+    ++*probe;
+    const uint8_t* gp = ctrl.data() + g * FlowTable::kGroupSize;
+    const uint64_t lo = Load64(gp);
+    const uint64_t hi = Load64(gp + 8);
+    for (uint64_t m = MatchByteMask(lo, h2); m != 0; m &= m - 1) {
+      const size_t idx = g * FlowTable::kGroupSize + ByteIndex(m);
+      if (entries[idx].key == key) return idx;
+    }
+    for (uint64_t m = MatchByteMask(hi, h2); m != 0; m &= m - 1) {
+      const size_t idx = g * FlowTable::kGroupSize + 8 + ByteIndex(m);
+      if (entries[idx].key == key) return idx;
+    }
+    if ((MaskEmpty(lo) | MaskEmpty(hi)) != 0) return kNpos;
+    g = (g + step) & gmask;
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+FlowId FlowTable::FindIn(const std::vector<uint8_t>& ctrl, const std::vector<Entry>& entries,
+                         const FlowKey& key, uint64_t hash, uint64_t* probe) const {
+  const size_t idx = FindSlotIn(ctrl, entries, key, hash, probe);
+  return idx == kNpos ? kInvalidFlow : entries[idx].id;
 }
 
 FlowId FlowTable::Find(const FlowKey& key) const {
   ++stats_.lookups;
-  const size_t mask = Mask();
-  size_t idx = HashKey(key) & mask;
-  uint64_t probe = 1;
-  for (size_t step = 1;; ++step) {
-    const uint8_t c = ctrl_[idx];
-    if (c == kEmpty) break;
-    if (c == kOccupied && entries_[idx].key == key) {
-      stats_.probes += probe;
-      if (probe > stats_.max_probe) stats_.max_probe = probe;
-      return entries_[idx].id;
-    }
-    // Triangular probing: cumulative offsets 1, 3, 6, ... visit every slot
-    // exactly once while capacity is a power of two.
-    idx = (idx + step) & mask;
-    ++probe;
+  const uint64_t hash = HashKey(key);
+  uint64_t probe = 0;
+  FlowId id = FindIn(ctrl_, entries_, key, hash, &probe);
+  if (id == kInvalidFlow && !old_ctrl_.empty()) {
+    id = FindIn(old_ctrl_, old_entries_, key, hash, &probe);
   }
   stats_.probes += probe;
   if (probe > stats_.max_probe) stats_.max_probe = probe;
-  return kInvalidFlow;
+  probe_hist_.Add(probe);
+  return id;
+}
+
+size_t FlowTable::PlaceInActive(const FlowKey& key, FlowId id, uint64_t hash,
+                                bool reuse_tombstones) {
+  const uint8_t h2 = static_cast<uint8_t>(hash & 0x7F);
+  const size_t ngroups = ctrl_.size() / kGroupSize;
+  const size_t gmask = ngroups - 1;
+  size_t g = (hash >> 7) & gmask;
+  for (size_t step = 1; step <= ngroups; ++step) {
+    const uint8_t* gp = ctrl_.data() + g * kGroupSize;
+    const uint64_t lo = Load64(gp);
+    const uint64_t hi = Load64(gp + 8);
+    // The first reusable byte in probe order: a tombstone earlier on the
+    // chain is taken before a trailing empty slot, which is what keeps
+    // steady-state erase+insert churn from growing occupancy.
+    const uint64_t m_lo = reuse_tombstones ? MaskEmptyOrDeleted(lo) : MaskEmpty(lo);
+    const uint64_t m_hi = reuse_tombstones ? MaskEmptyOrDeleted(hi) : MaskEmpty(hi);
+    if ((m_lo | m_hi) != 0) {
+      const size_t byte = m_lo != 0 ? ByteIndex(m_lo) : 8 + ByteIndex(m_hi);
+      const size_t idx = g * kGroupSize + byte;
+      if (ctrl_[idx] == kDeletedByte) {
+        --tombstones_;
+        ++stats_.tombstones_reused;
+      }
+      ctrl_[idx] = h2;
+      entries_[idx].key = key;
+      entries_[idx].id = id;
+      return idx;
+    }
+    g = (g + step) & gmask;
+  }
+  TAS_LOG(FATAL) << "flow table full (occupancy bound violated)";
+  return kNpos;
 }
 
 void FlowTable::Insert(const FlowKey& key, FlowId id) {
-  // Keep live + tombstone occupancy under 7/8 so probe chains stay short and
-  // Find's empty-slot termination is always reachable.
-  if ((size_ + tombstones_ + 1) * 8 > ctrl_.size() * 7) {
-    Rehash(ctrl_.size() * 2);
-  }
-  const size_t mask = Mask();
-  size_t idx = HashKey(key) & mask;
-  size_t first_tombstone = ctrl_.size();  // Sentinel: none seen.
-  for (size_t step = 1;; ++step) {
-    const uint8_t c = ctrl_[idx];
-    if (c == kEmpty) break;
-    if (c == kTombstone && first_tombstone == ctrl_.size()) {
-      first_tombstone = idx;
+  StepRehash(kRehashStrideSlots);
+  // Keep live + tombstone occupancy of the active table under 7/8 so probe
+  // chains stay short and the empty-group termination is always reachable.
+  if ((active_size_ + tombstones_ + 1) * 8 > ctrl_.size() * 7) {
+    if (rehash_in_progress()) {
+      // Should not happen (see kRehashStrideSlots sizing); finish the drain
+      // so the new rehash starts from a single-table state, and count it.
+      ++stats_.forced_finishes;
+      FinishRehash();
     }
-    TAS_DCHECK(c != kOccupied || !(entries_[idx].key == key));
-    idx = (idx + step) & mask;
+    // If occupancy is mostly tombstones, rebuilding at the same capacity is
+    // enough (tombstone drift); only grow when live entries need the room.
+    const bool drift = size() * 8 <= ctrl_.size() * 7 / 2;
+    if (drift) ++stats_.drift_rebuilds;
+    StartRehash(drift ? ctrl_.size() : ctrl_.size() * 2);
   }
-  if (first_tombstone != ctrl_.size()) {
-    idx = first_tombstone;
-    --tombstones_;
-    ++stats_.tombstones_reused;
-  }
-  ctrl_[idx] = kOccupied;
-  entries_[idx].key = key;
-  entries_[idx].id = id;
-  ++size_;
+  PlaceInActive(key, id, HashKey(key), /*reuse_tombstones=*/true);
+  ++active_size_;
 }
 
 bool FlowTable::Erase(const FlowKey& key) {
-  const size_t mask = Mask();
-  size_t idx = HashKey(key) & mask;
-  for (size_t step = 1;; ++step) {
-    const uint8_t c = ctrl_[idx];
-    if (c == kEmpty) return false;
-    if (c == kOccupied && entries_[idx].key == key) {
-      ctrl_[idx] = kTombstone;
-      ++tombstones_;
-      --size_;
+  StepRehash(kRehashStrideSlots);
+  const uint64_t hash = HashKey(key);
+  uint64_t probe = 0;
+  size_t idx = FindSlotIn(ctrl_, entries_, key, hash, &probe);
+  if (idx != kNpos) {
+    ctrl_[idx] = kDeletedByte;
+    ++tombstones_;
+    --active_size_;
+    return true;
+  }
+  if (!old_ctrl_.empty()) {
+    idx = FindSlotIn(old_ctrl_, old_entries_, key, hash, &probe);
+    if (idx != kNpos) {
+      // Old-table erases just mark the slot; the drain scan skips it. No
+      // tombstone accounting: the old table never takes inserts.
+      old_ctrl_[idx] = kDeletedByte;
+      --old_live_;
       return true;
     }
-    idx = (idx + step) & mask;
+  }
+  return false;
+}
+
+void FlowTable::StartRehash(size_t new_capacity) {
+  TAS_DCHECK(old_ctrl_.empty());
+  ++stats_.rehashes;
+  old_ctrl_ = std::move(ctrl_);
+  old_entries_ = std::move(entries_);
+  old_live_ = active_size_;
+  active_size_ = 0;
+  tombstones_ = 0;
+  rehash_pos_ = 0;
+  if (spare_ctrl_.size() == new_capacity) {
+    // Same-capacity rebuild: reuse the retired buffers — no allocation, so
+    // steady-state churn with periodic drift rebuilds stays alloc-free.
+    ctrl_ = std::move(spare_ctrl_);
+    entries_ = std::move(spare_entries_);
+    spare_ctrl_.clear();
+    spare_entries_.clear();
+    std::fill(ctrl_.begin(), ctrl_.end(), kEmptyByte);
+  } else {
+    ctrl_.assign(new_capacity, kEmptyByte);
+    entries_.assign(new_capacity, Entry{});
+  }
+  // First stride up front: a table that sees no further Insert/Erase traffic
+  // still makes progress on the next mutating call, and short drains finish
+  // immediately.
+  StepRehash(kRehashStrideSlots);
+}
+
+void FlowTable::StepRehash(size_t max_slots) {
+  if (old_ctrl_.empty()) return;
+  const size_t end = old_ctrl_.size();
+  size_t scanned = 0;
+  while (rehash_pos_ < end && scanned < max_slots) {
+    if (IsFull(old_ctrl_[rehash_pos_])) {
+      const Entry& e = old_entries_[rehash_pos_];
+      // Migration can't overflow the new table: growth sizes it for all old
+      // entries plus the inserts that can occur before the drain completes.
+      PlaceInActive(e.key, e.id, HashKey(e.key), /*reuse_tombstones=*/true);
+      ++active_size_;
+      --old_live_;
+      ++stats_.relocated;
+      old_ctrl_[rehash_pos_] = kDeletedByte;  // Keeps old-table probes valid.
+    }
+    ++rehash_pos_;
+    ++scanned;
+  }
+  if (scanned > stats_.max_reloc_slots) stats_.max_reloc_slots = scanned;
+  if (rehash_pos_ == end) {
+    TAS_DCHECK(old_live_ == 0);
+    // Retire the drained buffers as spares for the next same-capacity
+    // rebuild (moved-from vectors are cleared explicitly: their state is
+    // only guaranteed "valid", and empty old_ctrl_ means "no rehash").
+    spare_ctrl_ = std::move(old_ctrl_);
+    spare_entries_ = std::move(old_entries_);
+    old_ctrl_.clear();
+    old_entries_.clear();
+    rehash_pos_ = 0;
   }
 }
 
-void FlowTable::Rehash(size_t new_capacity) {
-  // If the table is mostly tombstones, rebuilding at the same capacity is
-  // enough; only grow when live entries actually need the room.
-  if (size_ * 8 <= ctrl_.size() * 7 / 2) {
-    new_capacity = ctrl_.size();
+void FlowTable::FinishRehash() {
+  while (!old_ctrl_.empty()) {
+    StepRehash(old_ctrl_.size());
   }
-  std::vector<uint8_t> old_ctrl = std::move(ctrl_);
-  std::vector<Entry> old_entries = std::move(entries_);
-  ctrl_.assign(new_capacity, kEmpty);
-  entries_.resize(new_capacity);
-  size_ = 0;
-  tombstones_ = 0;
-  ++stats_.rehashes;
-  const size_t mask = Mask();
-  for (size_t i = 0; i < old_ctrl.size(); ++i) {
-    if (old_ctrl[i] != kOccupied) continue;
-    size_t idx = HashKey(old_entries[i].key) & mask;
-    for (size_t step = 1; ctrl_[idx] != kEmpty; ++step) {
-      idx = (idx + step) & mask;
-    }
-    ctrl_[idx] = kOccupied;
-    entries_[idx] = old_entries[i];
-    ++size_;
+}
+
+FlowSlab::Chunk::Chunk()
+    : flows(kChunkSlots),
+      cold(kChunkSlots),
+      generation(kChunkSlots, 0),
+      live(kChunkSlots, 0) {
+  for (size_t i = 0; i < kChunkSlots; ++i) {
+    flows[i].BindCold(&cold[i]);
   }
 }
 
@@ -122,29 +270,32 @@ FlowId FlowSlab::Allocate() {
     free_slots_.pop_back();
   } else {
     if (slot_count_ == capacity_slots()) {
-      chunks_.push_back(std::make_unique<Chunk>(kChunkSlots));
+      chunks_.push_back(std::make_unique<Chunk>());
     }
     slot = static_cast<uint32_t>(slot_count_++);
     TAS_DCHECK(slot < kFlowSlotMask);  // Slot 0xFFFFF reserved: id != kInvalidFlow.
   }
-  Slot& s = SlotAt(slot);
-  s.live = true;
+  Chunk& c = ChunkOf(slot);
+  const size_t i = slot % kChunkSlots;
+  c.live[i] = 1;
   ++live_;
-  return MakeFlowId(slot, s.generation);
+  return MakeFlowId(slot, c.generation[i]);
 }
 
 void FlowSlab::Free(FlowId id) {
-  Slot* s = nullptr;
+  Chunk* c = nullptr;
+  size_t i = 0;
   const uint32_t slot = FlowSlotOf(id);
   if (slot < slot_count_) {
-    Slot& cand = SlotAt(slot);
-    if (cand.live && cand.generation == FlowGenOf(id)) s = &cand;
+    Chunk& cand = ChunkOf(slot);
+    i = slot % kChunkSlots;
+    if (cand.live[i] && cand.generation[i] == FlowGenOf(id)) c = &cand;
   }
-  TAS_DCHECK(s != nullptr);
-  if (s == nullptr) return;
-  s->flow.Reset();
-  s->generation = (s->generation + 1) & kFlowGenMask;
-  s->live = false;
+  TAS_DCHECK(c != nullptr);
+  if (c == nullptr) return;
+  c->flows[i].Reset();
+  c->generation[i] = (c->generation[i] + 1) & kFlowGenMask;
+  c->live[i] = 0;
   --live_;
   free_slots_.push_back(slot);
 }

@@ -1,27 +1,45 @@
-// Flat flow-state storage: open-addressing 4-tuple hash table + dense slab
-// of inline Flow slots with generation-checked ids.
+// Flat flow-state storage: SwissTable-style group-probed 4-tuple hash table
+// + dense slab of hot/cold-split Flow slots with generation-checked ids.
 //
 // The paper's capacity argument (§3.1, Table 3) is that per-flow state is
-// small enough to keep tens of thousands of flows cache-resident. The
-// original `unordered_map<FlowKey, FlowId>` over `vector<unique_ptr<Flow>>`
-// costs three dependent pointer hops per packet (bucket node -> id ->
-// heap-allocated Flow); the layout here costs two contiguous touches: a probe
-// over a flat ctrl-byte/entry array, then an index into an inline Flow slot.
+// small enough to keep huge flow counts cache-resident. At the million-flow
+// scale the lookup structure itself becomes the bottleneck (FlexTOE,
+// Laminar), so the table probes 16-byte control groups: one cache line of
+// ctrl bytes answers "which of these 16 slots might hold the key" with a
+// handful of 64-bit SWAR ops before any Entry is touched.
 //
 // FlowTable
-//   Power-of-two capacity, triangular probing (i-th step advances by i, which
-//   visits every slot exactly once when capacity is a power of two),
-//   tombstone-marking erase with tombstone reuse on insert, rehash at 7/8
-//   occupancy (live + tombstones). Steady state — capacity stable — performs
-//   zero allocations; bench/micro_alloc audits this.
+//   Power-of-two capacity in 16-slot groups. Each ctrl byte is either
+//   kEmptyByte (0x80), kDeletedByte (0xFE), or a 7-bit H2 fingerprint of the
+//   key's hash (high bit clear). Lookups triangular-probe across groups —
+//   match H2 within the group, confirm on the full key, stop at the first
+//   group containing an empty byte.
+//
+//   Resizes are INCREMENTAL: a rehash allocates the new arrays and then
+//   relocates a bounded number of old-table slots per Insert/Erase
+//   (kRehashStrideSlots), so a 1M-entry resize never stalls the fast path
+//   behind a multi-millisecond table rebuild. While a rehash is draining,
+//   Find probes the new table first and falls back to the old one; migrated
+//   old slots become deleted so old-table probe chains stay terminated.
+//   Erase tombstones its slot; Insert reuses the first tombstone on its
+//   probe path. When tombstones (not live entries) drive occupancy over the
+//   7/8 bound, the rebuild keeps the same capacity (tombstone drift, counted
+//   in stats().drift_rebuilds). Steady state — capacity stable, no rehash in
+//   flight — performs zero allocations; bench/micro_alloc audits this, and
+//   completed rehashes park their old arrays as spares so same-capacity
+//   drift rebuilds reuse them instead of allocating.
 //
 // FlowSlab
 //   Fixed 512-slot chunks so Flow addresses are stable across growth (the
-//   fast path holds `Flow&` across calls and fs.rx_base points into
-//   flow->rx_mem). Slots are recycled through a free list; each slot carries
-//   a generation that is bumped on Free, and FlowIds encode
-//   (generation << 20 | slot), so a stale id held by the slow path's pending
-//   scan or an app resolves to nullptr instead of a recycled flow.
+//   fast path holds `Flow&` across calls and fs.rx_base points into the
+//   flow's rx buffer). Each chunk stores the compact hot Flow records in one
+//   contiguous array and their cold slow-path side records (FlowCold:
+//   payload buffers, CC instances, teardown FSM bookkeeping) in a parallel
+//   array, so the fast path's working set per flow is the hot struct only.
+//   Slots are recycled through a free list; each slot carries a generation
+//   that is bumped on Free, and FlowIds encode (generation << 20 | slot), so
+//   a stale id held by the slow path's pending scan or an app resolves to
+//   nullptr instead of a recycled flow.
 #ifndef SRC_TAS_FLOW_TABLE_H_
 #define SRC_TAS_FLOW_TABLE_H_
 
@@ -32,13 +50,13 @@
 #include "src/net/packet.h"
 #include "src/tas/flow.h"
 #include "src/tas/flow_state.h"
+#include "src/util/stats.h"
 
 namespace tas {
 
-// FlowId bit layout. 20 bits of slot index (1M concurrent flows, far beyond
-// the paper's per-core capacity claims) and 12 bits of generation. All valid
-// ids differ from kInvalidFlow (~0) because the slab never reaches slot
-// 0xFFFFF.
+// FlowId bit layout. 20 bits of slot index (1M concurrent flows, the ROADMAP
+// scale target) and 12 bits of generation. All valid ids differ from
+// kInvalidFlow (~0) because the slab never reaches slot 0xFFFFF.
 inline constexpr int kFlowSlotBits = 20;
 inline constexpr uint32_t kFlowSlotMask = (1u << kFlowSlotBits) - 1;
 inline constexpr uint32_t kFlowGenMask = (1u << (32 - kFlowSlotBits)) - 1;
@@ -50,31 +68,45 @@ inline FlowId MakeFlowId(uint32_t slot, uint32_t generation) {
 }
 
 // Probe / occupancy statistics the MetricRegistry exports (tas.flow_table.*).
+// `probes` counts GROUPS examined (16 slots per step), not individual slots.
 struct FlowTableStats {
-  uint64_t lookups = 0;       // Find calls (hit or miss).
-  uint64_t probes = 0;        // Total probe steps across all lookups.
-  uint64_t max_probe = 0;     // Longest single lookup's probe length.
-  uint64_t rehashes = 0;
+  uint64_t lookups = 0;           // Find calls (hit or miss).
+  uint64_t probes = 0;            // Total group-probe steps across lookups.
+  uint64_t max_probe = 0;         // Longest single lookup, in groups.
+  uint64_t rehashes = 0;          // Rebuilds started (growth + drift).
+  uint64_t drift_rebuilds = 0;    // Same-capacity rebuilds (tombstone drift).
   uint64_t tombstones_reused = 0;
+  uint64_t relocated = 0;         // Entries moved old table -> new table.
+  uint64_t max_reloc_slots = 0;   // Largest single relocation step (slots).
+  uint64_t forced_finishes = 0;   // Rehashes force-completed (should be 0).
 };
 
 class FlowTable {
  public:
+  static constexpr size_t kGroupSize = 16;
+  // Old-table slots scanned per Insert/Erase while a rehash is draining.
+  // Sized so any rehash completes long before occupancy can trigger the
+  // next one (capacity/kStride steps available vs >= capacity*7/16 ops).
+  static constexpr size_t kRehashStrideSlots = 64;
+
   explicit FlowTable(size_t initial_capacity = 1024);
 
   // Returns the stored id, or kInvalidFlow. Records probe-length stats.
   FlowId Find(const FlowKey& key) const;
   // Inserts a new key (must not be present); reuses the first tombstone on
-  // the probe path. May rehash (the only allocating operation).
+  // the probe path. Advances any in-flight rehash by one bounded step; may
+  // start a rehash (the only allocating operation).
   void Insert(const FlowKey& key, FlowId id);
-  // Marks the key's slot as a tombstone. Returns false if absent.
+  // Marks the key's slot as a tombstone. Returns false if absent. Advances
+  // any in-flight rehash by one bounded step.
   bool Erase(const FlowKey& key);
 
-  size_t size() const { return size_; }
+  // Live entries across both tables while a rehash drains.
+  size_t size() const { return active_size_ + old_live_; }
   size_t capacity() const { return ctrl_.size(); }
   size_t tombstones() const { return tombstones_; }
   double LoadFactor() const {
-    return ctrl_.empty() ? 0.0 : static_cast<double>(size_) / static_cast<double>(ctrl_.size());
+    return ctrl_.empty() ? 0.0 : static_cast<double>(size()) / static_cast<double>(ctrl_.size());
   }
   const FlowTableStats& stats() const { return stats_; }
   double AvgProbeLength() const {
@@ -82,24 +114,58 @@ class FlowTable {
                ? 0.0
                : static_cast<double>(stats_.probes) / static_cast<double>(stats_.lookups);
   }
+  // Probe-length distribution (groups per Find); exported as p50/p99 gauges.
+  const LogHistogram& probe_hist() const { return probe_hist_; }
+
+  bool rehash_in_progress() const { return !old_ctrl_.empty(); }
+  size_t rehash_remaining_slots() const {
+    return old_ctrl_.empty() ? 0 : old_ctrl_.size() - rehash_pos_;
+  }
 
  private:
-  enum Ctrl : uint8_t { kEmpty = 0, kTombstone = 1, kOccupied = 2 };
+  // Ctrl byte encoding (absl-style): full slots hold the 7-bit H2
+  // fingerprint (high bit clear); specials have the high bit set and are
+  // distinguished by low bits so SWAR masks stay exact (no false positives).
+  static constexpr uint8_t kEmptyByte = 0x80;    // 0b1000'0000
+  static constexpr uint8_t kDeletedByte = 0xFE;  // 0b1111'1110
+
   struct Entry {
     FlowKey key;
     FlowId id;
   };
 
-  size_t Mask() const { return ctrl_.size() - 1; }
-  void Rehash(size_t new_capacity);
+  static bool IsFull(uint8_t c) { return (c & 0x80) == 0; }
 
-  std::vector<uint8_t> ctrl_;
-  std::vector<Entry> entries_;
-  size_t size_ = 0;
-  size_t tombstones_ = 0;
+  FlowId FindIn(const std::vector<uint8_t>& ctrl, const std::vector<Entry>& entries,
+                const FlowKey& key, uint64_t hash, uint64_t* probe) const;
+  // Places the key in the active table (no growth check; capacity is chosen
+  // so relocation can never overflow it). Returns the slot index used.
+  size_t PlaceInActive(const FlowKey& key, FlowId id, uint64_t hash, bool reuse_tombstones);
+  // Begins an incremental rehash: active arrays become the draining old
+  // table; fresh (or spare) arrays of `new_capacity` become active.
+  void StartRehash(size_t new_capacity);
+  // Scans up to `max_slots` old-table slots, migrating live entries into the
+  // active table; retires the old table when the scan completes.
+  void StepRehash(size_t max_slots);
+  void FinishRehash();
+
+  std::vector<uint8_t> ctrl_;        // Active table: ctrl bytes ...
+  std::vector<Entry> entries_;       // ... and key/id slots.
+  std::vector<uint8_t> old_ctrl_;    // Draining table (empty = no rehash).
+  std::vector<Entry> old_entries_;
+  std::vector<uint8_t> spare_ctrl_;  // Retired buffers kept for reuse.
+  std::vector<Entry> spare_entries_;
+  size_t rehash_pos_ = 0;            // Next old-table slot to scan.
+  size_t active_size_ = 0;           // Live entries in the active table.
+  size_t old_live_ = 0;              // Live entries still in the old table.
+  size_t tombstones_ = 0;            // Deleted slots in the active table.
   mutable FlowTableStats stats_;
+  mutable LogHistogram probe_hist_;
 };
 
+// Cold slow-path side record: everything a million cache-resident flows do
+// NOT need per fast-path packet. Declared in flow.h; stored here in a
+// parallel per-chunk array so hot Flow records stay contiguous.
 class FlowSlab {
  public:
   static constexpr size_t kChunkSlots = 512;
@@ -115,37 +181,42 @@ class FlowSlab {
   Flow* Get(FlowId id) {
     const uint32_t slot = FlowSlotOf(id);
     if (slot >= slot_count_) return nullptr;
-    Slot& s = SlotAt(slot);
-    if (!s.live || s.generation != FlowGenOf(id)) return nullptr;
-    return &s.flow;
+    Chunk& c = ChunkOf(slot);
+    const size_t i = slot % kChunkSlots;
+    if (!c.live[i] || c.generation[i] != FlowGenOf(id)) return nullptr;
+    return &c.flows[i];
   }
   const Flow* Get(FlowId id) const { return const_cast<FlowSlab*>(this)->Get(id); }
 
   // Iteration support for samplers / debug dumps.
   size_t slot_count() const { return slot_count_; }
-  bool SlotLive(uint32_t slot) const { return slot < slot_count_ && SlotAt(slot).live; }
-  Flow& SlotFlow(uint32_t slot) { return SlotAt(slot).flow; }
+  bool SlotLive(uint32_t slot) const {
+    return slot < slot_count_ && ChunkOf(slot).live[slot % kChunkSlots] != 0;
+  }
+  Flow& SlotFlow(uint32_t slot) { return ChunkOf(slot).flows[slot % kChunkSlots]; }
   FlowId SlotId(uint32_t slot) const {
-    return MakeFlowId(slot, SlotAt(slot).generation);
+    return MakeFlowId(slot, ChunkOf(slot).generation[slot % kChunkSlots]);
   }
 
   size_t live() const { return live_; }
   size_t capacity_slots() const { return chunks_.size() * kChunkSlots; }
 
  private:
-  struct Slot {
-    Flow flow;
-    uint32_t generation = 0;
-    bool live = false;
+  // Hot Flow records and cold side records live in parallel arrays: the fast
+  // path walks `flows` without pulling buffer vectors / CC state / teardown
+  // bookkeeping into cache. Both arrays are sized once at chunk creation and
+  // never move, so slot recycling stays allocation-free and Flow&/FlowCold&
+  // stay stable for the lifetime of the slab.
+  struct Chunk {
+    Chunk();
+    std::vector<Flow> flows;
+    std::vector<FlowCold> cold;
+    std::vector<uint32_t> generation;
+    std::vector<uint8_t> live;
   };
-  using Chunk = std::vector<Slot>;  // Always kChunkSlots entries; never moves.
 
-  Slot& SlotAt(uint32_t slot) {
-    return (*chunks_[slot / kChunkSlots])[slot % kChunkSlots];
-  }
-  const Slot& SlotAt(uint32_t slot) const {
-    return (*chunks_[slot / kChunkSlots])[slot % kChunkSlots];
-  }
+  Chunk& ChunkOf(uint32_t slot) { return *chunks_[slot / kChunkSlots]; }
+  const Chunk& ChunkOf(uint32_t slot) const { return *chunks_[slot / kChunkSlots]; }
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<uint32_t> free_slots_;

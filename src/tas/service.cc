@@ -7,6 +7,7 @@
 #include "src/cc/timely.h"
 #include "src/tas/fast_path.h"
 #include "src/tas/slow_path.h"
+#include "src/tas/steering.h"
 
 namespace tas {
 namespace {
@@ -51,6 +52,7 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     fastpaths_.push_back(std::make_unique<FastPathCore>(this, fastpath_cores_.back().get(), i));
   }
   slow_path_ = std::make_unique<SlowPath>(this, slowpath_core_.get());
+  steering_ = std::make_unique<FlowGroupSteering>(this);
   RegisterTraceInstrumentation();
   // The host's access link exports per-direction queue depth/high-water and
   // egress-fault counters into this host's bundle (switches register via the
@@ -102,6 +104,25 @@ void TasService::RegisterTraceInstrumentation() {
   m.AddGauge("tas.flow_table.avg_probe_len", [this] { return flow_table_.AvgProbeLength(); });
   m.AddGauge("tas.flow_table.max_probe_len",
              [this] { return static_cast<double>(flow_table_.stats().max_probe); });
+  // Probe-length distribution (group-probe counts per lookup) as log-bucket
+  // percentiles — the gate the million-flow churn bench regresses against.
+  m.AddGauge("tas.flow_table.probe_p50", [this] {
+    const LogHistogram& h = flow_table_.probe_hist();
+    return h.count() == 0 ? 0.0 : static_cast<double>(h.ApproxPercentile(50));
+  });
+  m.AddGauge("tas.flow_table.probe_p99", [this] {
+    const LogHistogram& h = flow_table_.probe_hist();
+    return h.count() == 0 ? 0.0 : static_cast<double>(h.ApproxPercentile(99));
+  });
+  m.AddCounterFn("tas.flow_table.drift_rebuilds",
+                 [this] { return flow_table_.stats().drift_rebuilds; });
+  m.AddCounterFn("tas.flow_table.relocated", [this] { return flow_table_.stats().relocated; });
+  m.AddCounterFn("tas.flow_table.forced_finishes",
+                 [this] { return flow_table_.stats().forced_finishes; });
+  m.AddCounterFn("tas.steer.migrations", [this] { return steering_->migrations(); });
+  m.AddCounterFn("tas.steer.group_moves", [this] { return steering_->group_moves(); });
+  m.AddCounterFn("tas.steer.deferred_items", [this] { return steering_->deferred_items(); });
+  m.AddCounterFn("tas.steer.rebalances", [this] { return steering_->rebalances(); });
   // Fast-path batching: per-core counters aggregated across cores. The RX
   // occupancy histogram buckets are 0 / 1 / 2 / 3-4 / 5-8 / 9+ packets.
   m.AddCounterFn("tas.fastpath.batches", [this] {
@@ -230,6 +251,22 @@ void TasService::RegisterTraceInstrumentation() {
       s.Series("tas.core.slow.util", max_pts).Append(now, util(sp_busy - win->busy.back()));
       win->busy.back() = sp_busy;
       win->last = now;
+    });
+    // Flow-table probe percentiles + steering activity as sweep series: the
+    // scale-out observability the §3.4 controller and the churn bench read.
+    sampler.AddSweepHook([this, max_pts](TimeNs now) {
+      TimeSeriesSampler& s = tracer_->sampler();
+      const LogHistogram& h = flow_table_.probe_hist();
+      if (h.count() > 0) {
+        s.Series("tas.flow_table.probe_p50", max_pts)
+            .Append(now, static_cast<double>(h.ApproxPercentile(50)));
+        s.Series("tas.flow_table.probe_p99", max_pts)
+            .Append(now, static_cast<double>(h.ApproxPercentile(99)));
+      }
+      s.Series("tas.steer.migrations", max_pts)
+          .Append(now, static_cast<double>(steering_->migrations()));
+      s.Series("tas.steer.group_moves", max_pts)
+          .Append(now, static_cast<double>(steering_->group_moves()));
     });
     if (config_.trace.latency_stages) {
       // Per-stage percentile series -> Perfetto counter tracks. Cumulative
@@ -375,10 +412,10 @@ FlowId TasService::AllocateFlow(const FlowKey& key) {
   TAS_CHECK(flow_table_.Find(key) == kInvalidFlow);
   const FlowId id = flows_.Allocate();
   Flow* flow = flows_.Get(id);
-  flow->rx_mem.resize(config_.rx_buffer_bytes);
-  flow->tx_mem.resize(config_.tx_buffer_bytes);
-  flow->fs.rx_base = flow->rx_mem.data();
-  flow->fs.tx_base = flow->tx_mem.data();
+  flow->cold().rx_mem.resize(config_.rx_buffer_bytes);
+  flow->cold().tx_mem.resize(config_.tx_buffer_bytes);
+  flow->fs.rx_base = flow->cold().rx_mem.data();
+  flow->fs.tx_base = flow->cold().tx_mem.data();
   flow->fs.rx_size = config_.rx_buffer_bytes;
   flow->fs.tx_size = config_.tx_buffer_bytes;
   flow->fs.local_port = key.local_port;
@@ -388,12 +425,12 @@ FlowId TasService::AllocateFlow(const FlowKey& key) {
   if (config_.cc_algorithm == CcAlgorithm::kDctcpWindow) {
     WindowCcConfig wc;
     wc.mss = config_.mss;
-    flow->wcc = std::make_unique<DctcpWindowCc>(wc);
-    flow->cc_window = flow->wcc->cwnd();
+    flow->cold().wcc = std::make_unique<DctcpWindowCc>(wc);
+    flow->cc_window = flow->cold().wcc->cwnd();
     flow->rate_bps = 100e9;  // Window is the limiter; do not pace.
   } else {
-    flow->cc = MakeRateCc(config_);
-    flow->rate_bps = flow->cc->rate_bps();
+    flow->cold().cc = MakeRateCc(config_);
+    flow->rate_bps = flow->cold().cc->rate_bps();
   }
 
   // Our ISN anchors the transmit positions: the first payload byte is iss+1.
@@ -432,15 +469,18 @@ uint16_t TasService::AllocateEphemeralPort() {
   return 0;
 }
 
-int TasService::CoreForFlow(const Flow& flow) const {
+int TasService::RedirectionEntryForFlow(const Flow& flow) const {
   Packet probe;
   probe.ip.src = flow.fs.peer_ip;
   probe.ip.dst = nic_->ip();
   probe.tcp.src_port = flow.fs.peer_port;
   probe.tcp.dst_port = flow.fs.local_port;
-  const int entry = nic_->RedirectionEntryFor(probe);
+  return nic_->RedirectionEntryFor(probe);
+}
+
+int TasService::CoreForFlow(const Flow& flow) const {
   // The redirection table maps the entry to the queue == core index.
-  return nic_->RedirectionEntryQueue(entry);
+  return nic_->RedirectionEntryQueue(RedirectionEntryForFlow(flow));
 }
 
 void TasService::ScheduleFlowTx(FlowId id, TimeNs earliest) {
@@ -450,7 +490,14 @@ void TasService::ScheduleFlowTx(FlowId id, TimeNs earliest) {
   }
   flow->tx_pending = true;
   if (earliest <= sim_->Now()) {
-    fastpaths_[static_cast<size_t>(CoreForFlow(*flow))]->EnqueueFlowTx(id);
+    const int entry = RedirectionEntryForFlow(*flow);
+    if (steering_->Draining(entry)) {
+      // The flow's group is mid-migration: park the work on the group; the
+      // flip re-enqueues it on the target core. tx_pending stays set.
+      steering_->DeferFlowTx(entry, id);
+      return;
+    }
+    fastpaths_[static_cast<size_t>(nic_->RedirectionEntryQueue(entry))]->EnqueueFlowTx(id);
     return;
   }
   sim_->At(earliest, [this, id] {
@@ -458,7 +505,12 @@ void TasService::ScheduleFlowTx(FlowId id, TimeNs earliest) {
     if (f == nullptr || f->cstate == ConnState::kFreed) {
       return;
     }
-    fastpaths_[static_cast<size_t>(CoreForFlow(*f))]->EnqueueFlowTx(id);
+    const int entry = RedirectionEntryForFlow(*f);
+    if (steering_->Draining(entry)) {
+      steering_->DeferFlowTx(entry, id);
+      return;
+    }
+    fastpaths_[static_cast<size_t>(nic_->RedirectionEntryQueue(entry))]->EnqueueFlowTx(id);
   });
 }
 
@@ -477,9 +529,11 @@ void TasService::SetActiveCores(int count) {
     return;
   }
   active_cores_ = count;
-  // Eagerly re-steer incoming packets (paper §3.4); outgoing application
+  // Re-steer via quiesced flow-group migrations (paper §3.4): groups on
+  // still-busy source cores drain first, idle ones flip immediately (which is
+  // byte-identical to the old eager table rewrite). Outgoing application
   // work re-routes lazily via CoreForFlow on the next scheduling decision.
-  nic_->SetActiveQueues(count);
+  steering_->SetActiveCores(count);
   core_series_->Append(sim_->Now(), static_cast<double>(count));
   // Kick newly added cores in case work is already queued for them.
   for (int i = 0; i < count; ++i) {

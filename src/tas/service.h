@@ -23,6 +23,7 @@
 namespace tas {
 
 class FastPathCore;
+class FlowGroupSteering;
 class SlowPath;
 
 // How the fast path handles out-of-order arrivals (Fig 7 ablation).
@@ -41,6 +42,13 @@ struct TasConfig {
   double idle_add_threshold = 0.2;      // Aggregate idle cores to add one.
   TimeNs block_timeout = Ms(10);        // Poll idle time before blocking.
   TimeNs wake_latency = Us(5);          // eventfd wake + reschedule cost.
+  // Load-aware flow-group migration (§3.4 at million-flow scale): each
+  // monitor interval the controller may move the hottest RSS flow group from
+  // the busiest active core to the least busy one, when the interval packet
+  // loads diverge past migrate_imbalance. Off by default: the round-robin
+  // group layout is the baseline and migration perturbs steering history.
+  bool group_migration = false;
+  double migrate_imbalance = 2.0;
 
   // Congestion control (slow path policy). Rate-based algorithms pace via
   // per-flow buckets; kDctcpWindow makes the fast path enforce a window
@@ -162,6 +170,8 @@ class TasService {
   uint16_t num_contexts() const { return static_cast<uint16_t>(contexts_.size()); }
   Flow* LookupFlow(const FlowKey& key);
   FlowId LookupFlowId(const FlowKey& key);
+  // Read-only view of the lookup structure (bench occupancy/probe reports).
+  const FlowTable& flow_table() const { return flow_table_; }
   // Generation-checked: a stale id (slot recycled since) yields nullptr.
   Flow* flow_by_id(FlowId id) { return flows_.Get(id); }
   FlowId AllocateFlow(const FlowKey& key);
@@ -169,6 +179,9 @@ class TasService {
   uint16_t AllocateEphemeralPort();
   // Which fast-path core currently owns packets of this flow (RSS steering).
   int CoreForFlow(const Flow& flow) const;
+  // The flow's RSS redirection entry == its flow group (steering unit).
+  int RedirectionEntryForFlow(const Flow& flow) const;
+  FlowGroupSteering* steering() { return steering_.get(); }
   // Queues transmit work for a flow on its owning core.
   void ScheduleFlowTx(FlowId id, TimeNs earliest);
   // Marks a flow for the slow path's next congestion-control iteration.
@@ -194,6 +207,7 @@ class TasService {
   std::unique_ptr<Core> slowpath_core_;
   std::vector<std::unique_ptr<Core>> fastpath_cores_;
   std::vector<std::unique_ptr<FastPathCore>> fastpaths_;
+  std::unique_ptr<FlowGroupSteering> steering_;
   std::unique_ptr<SlowPath> slow_path_;
   std::vector<AppContext*> contexts_;
 

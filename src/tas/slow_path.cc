@@ -5,6 +5,7 @@
 #include "src/cc/dctcp_rate.h"
 #include "src/cc/timely.h"
 #include "src/tas/fast_path.h"
+#include "src/tas/steering.h"
 #include "src/tcp/seq.h"
 
 namespace tas {
@@ -35,7 +36,9 @@ void SlowPath::Start() {
   cc_task_ = std::make_unique<PeriodicTask>(service_->sim(), service_->config().control_interval,
                                             [this] { ControlLoop(); });
   cc_task_->Start();
-  if (service_->config().dynamic_cores) {
+  if (service_->config().dynamic_cores || service_->config().group_migration) {
+    // group_migration needs the monitor interval even with a fixed core
+    // count: MonitorCores is where load-aware group rebalancing runs.
     monitor_task_ = std::make_unique<PeriodicTask>(
         service_->sim(), service_->config().monitor_interval, [this] { MonitorCores(); });
     monitor_task_->Start();
@@ -146,7 +149,7 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
     if (flow.cstate == ConnState::kSynSent) {
       service_->context(flow.fs.context)
           ->PushEvent(AppEvent{AppEventType::kConnOpenFailed, flow.fs.opaque, flow_id});
-      flow.closed_event_sent = true;
+      flow.cold().closed_event_sent = true;
     }
     ReleaseFlow(flow_id, flow);
     return false;
@@ -200,7 +203,7 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
     }
     case ConnState::kFinWait1: {
       if (pkt.tcp.ack_flag() && pkt.tcp.ack == flow.fs.seq + 1) {
-        flow.fin_acked = true;
+        flow.cold().fin_acked = true;
       }
       if (pkt.tcp.fin()) {
         HandleFin(flow_id, flow, pkt);
@@ -209,10 +212,10 @@ bool SlowPath::HandleFlowPacket(FlowId flow_id, Flow& flow, const Packet& pkt) {
       // The peer's direction is still open: a half-closed peer (e.g. a proxy
       // flushing a response after our FIN) may keep streaming payload.
       DeliverPayload(flow_id, flow, pkt);
-      if (flow.fin_acked) {
-        flow.cstate = flow.fin_received ? ConnState::kTimeWait : ConnState::kFinWait2;
+      if (flow.cold().fin_acked) {
+        flow.cstate = flow.cold().fin_received ? ConnState::kTimeWait : ConnState::kFinWait2;
         if (flow.cstate == ConnState::kTimeWait) {
-          flow.timewait_start = service_->sim()->Now();
+          flow.cold().timewait_start = service_->sim()->Now();
         }
         TraceState(flow_id, flow);
       }
@@ -284,7 +287,7 @@ void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
     return;
   }
   flow.fs.ack += 1;  // Consume the FIN.
-  flow.fin_received = true;
+  flow.cold().fin_received = true;
   SendControlAck(flow);
 
   NotifyRemoteClosed(flow);
@@ -296,15 +299,15 @@ void SlowPath::HandleFin(FlowId flow_id, Flow& flow, const Packet& pkt) {
       AddPending(flow_id, flow);
       break;
     case ConnState::kFinWait1:
-      flow.cstate = flow.fin_acked ? ConnState::kTimeWait : ConnState::kFinWait1;
+      flow.cstate = flow.cold().fin_acked ? ConnState::kTimeWait : ConnState::kFinWait1;
       if (flow.cstate == ConnState::kTimeWait) {
-        flow.timewait_start = service_->sim()->Now();
+        flow.cold().timewait_start = service_->sim()->Now();
         TraceState(flow_id, flow);
       }
       break;
     case ConnState::kFinWait2:
       flow.cstate = ConnState::kTimeWait;
-      flow.timewait_start = service_->sim()->Now();
+      flow.cold().timewait_start = service_->sim()->Now();
       TraceState(flow_id, flow);
       break;
     default:
@@ -331,14 +334,14 @@ void SlowPath::CmdClose(FlowId flow_id) {
   if (flow == nullptr || flow->cstate == ConnState::kFreed) {
     return;
   }
-  flow->app_closed = true;
+  flow->cold().app_closed = true;
   cpu_->Charge(CpuModule::kTcp, service_->config().costs->connection_teardown / 2);
   TrySendFin(flow_id, *flow);
   AddPending(flow_id, *flow);
 }
 
 void SlowPath::TrySendFin(FlowId flow_id, Flow& flow) {
-  if (flow.fin_sent || !flow.app_closed) {
+  if (flow.cold().fin_sent || !flow.cold().app_closed) {
     return;
   }
   if (flow.cstate != ConnState::kEstablished && flow.cstate != ConnState::kCloseWait) {
@@ -349,7 +352,7 @@ void SlowPath::TrySendFin(FlowId flow_id, Flow& flow) {
     AddPending(flow_id, flow);
     return;
   }
-  flow.fin_sent = true;
+  flow.cold().fin_sent = true;
   flow.cstate =
       flow.cstate == ConnState::kEstablished ? ConnState::kFinWait1 : ConnState::kLastAck;
   TraceState(flow_id, flow);
@@ -372,7 +375,7 @@ void SlowPath::SendSyn(Flow& flow) {
   syn->tcp.has_timestamps = true;
   syn->tcp.ts_val = NowUs(service_->sim());
   syn->enqueued_at = service_->sim()->Now();
-  flow.last_ctrl_send = service_->sim()->Now();
+  flow.cold().last_ctrl_send = service_->sim()->Now();
   service_->nic()->Transmit(std::move(syn));
 }
 
@@ -391,7 +394,7 @@ void SlowPath::SendSynAck(Flow& flow) {
   synack->tcp.ts_val = NowUs(service_->sim());
   synack->tcp.ts_ecr = flow.ts_echo;
   synack->enqueued_at = service_->sim()->Now();
-  flow.last_ctrl_send = service_->sim()->Now();
+  flow.cold().last_ctrl_send = service_->sim()->Now();
   service_->nic()->Transmit(std::move(synack));
 }
 
@@ -405,13 +408,13 @@ void SlowPath::SendFin(Flow& flow) {
   fin->tcp.ts_val = NowUs(service_->sim());
   fin->tcp.ts_ecr = flow.ts_echo;
   fin->enqueued_at = service_->sim()->Now();
-  flow.last_ctrl_send = service_->sim()->Now();
+  flow.cold().last_ctrl_send = service_->sim()->Now();
   service_->nic()->Transmit(std::move(fin));
 }
 
 void SlowPath::SendControlAck(Flow& flow) {
   auto ack = MakeTcpPacket(service_->local_ip(), flow.fs.local_port, flow.fs.peer_ip,
-                           flow.fs.peer_port, flow.fs.seq + (flow.fin_sent ? 1 : 0),
+                           flow.fs.peer_port, flow.fs.seq + (flow.cold().fin_sent ? 1 : 0),
                            flow.fs.ack, TcpFlags::kAck);
   ack->tcp.window = static_cast<uint16_t>(
       std::min<uint32_t>(flow.RxFree() >> service_->config().window_scale, 0xFFFF));
@@ -424,8 +427,8 @@ void SlowPath::SendControlAck(Flow& flow) {
 
 void SlowPath::Establish(FlowId flow_id, Flow& flow, bool from_listener) {
   flow.cstate = ConnState::kEstablished;
-  flow.established_at = service_->sim()->Now();
-  flow.ctrl_retries = 0;
+  flow.cold().established_at = service_->sim()->Now();
+  flow.cold().ctrl_retries = 0;
   service_->mutable_stats().connections_established++;
   TraceState(flow_id, flow);
   if (from_listener) {
@@ -442,19 +445,19 @@ void SlowPath::Establish(FlowId flow_id, Flow& flow, bool from_listener) {
 }
 
 void SlowPath::NotifyRemoteClosed(Flow& flow) {
-  if (flow.fin_event_sent) {
+  if (flow.cold().fin_event_sent) {
     return;
   }
-  flow.fin_event_sent = true;
+  flow.cold().fin_event_sent = true;
   service_->context(flow.fs.context)
       ->PushEvent(AppEvent{AppEventType::kConnFin, flow.fs.opaque, 0});
 }
 
 void SlowPath::NotifyClosed(Flow& flow) {
-  if (flow.closed_event_sent) {
+  if (flow.cold().closed_event_sent) {
     return;
   }
-  flow.closed_event_sent = true;
+  flow.cold().closed_event_sent = true;
   service_->context(flow.fs.context)
       ->PushEvent(AppEvent{AppEventType::kConnClosed, flow.fs.opaque, 0});
 }
@@ -476,10 +479,10 @@ void SlowPath::TraceState(FlowId flow_id, const Flow& flow) {
 }
 
 void SlowPath::AddPending(FlowId flow_id, Flow& flow) {
-  if (flow.in_pending) {
+  if (flow.cold().in_pending) {
     return;
   }
-  flow.in_pending = true;
+  flow.cold().in_pending = true;
   pending_.push_back(flow_id);
 }
 
@@ -533,7 +536,7 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
   // 4*RTT guard below cannot protect a long path from a spurious reset.
   bool timed_out = false;
   if (flow.fs.tx_sent > 0 && flow.fs.cnt_ackb == 0 &&
-      (flow.fs.rtt_est > 0 || flow.fs.seq == flow.last_seq_sampled)) {
+      (flow.fs.rtt_est > 0 || flow.fs.seq == flow.cold().last_seq_sampled)) {
     const TimeNs rtt = static_cast<TimeNs>(flow.fs.rtt_est) * kNsPerUs;
     const TimeNs stall_ns =
         std::max(service_->config().min_rto,
@@ -541,14 +544,14 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
     const int required = std::max<int>(
         static_cast<int>(stall_ns / std::max<TimeNs>(interval, 1)),
         static_cast<int>(4 * rtt / std::max<TimeNs>(interval, 1)) + 1);
-    if (++flow.stalled_intervals >= required) {
+    if (++flow.cold().stalled_intervals >= required) {
       timed_out = true;
-      flow.stalled_intervals = 0;
+      flow.cold().stalled_intervals = 0;
     }
   } else {
-    flow.stalled_intervals = 0;
+    flow.cold().stalled_intervals = 0;
   }
-  flow.last_seq_sampled = flow.fs.seq;
+  flow.cold().last_seq_sampled = flow.fs.seq;
   if (timed_out) {
     service_->mutable_stats().timeout_retransmits++;
     feedback.retransmits += 1;
@@ -561,19 +564,19 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
     service_->ScheduleFlowTx(flow_id, 0);
   }
 
-  if (flow.wcc != nullptr) {
+  if (flow.cold().wcc != nullptr) {
     // Window mode: feed the window controller and publish the new window.
     if (feedback.acked_bytes > 0) {
-      flow.wcc->OnAck(feedback.acked_bytes, feedback.ecn_bytes > 0, feedback.rtt);
+      flow.cold().wcc->OnAck(feedback.acked_bytes, feedback.ecn_bytes > 0, feedback.rtt);
     }
     if (timed_out) {
-      flow.wcc->OnTimeout();
+      flow.cold().wcc->OnTimeout();
     } else if (flow.fs.cnt_frexmits > 0) {
-      flow.wcc->OnFastRetransmit();
+      flow.cold().wcc->OnFastRetransmit();
     }
-    flow.cc_window = flow.wcc->cwnd();
+    flow.cc_window = flow.cold().wcc->cwnd();
   } else {
-    flow.rate_bps = flow.cc->Update(feedback);
+    flow.rate_bps = flow.cold().cc->Update(feedback);
   }
   if (service_->flow_trace().enabled(flow_id)) {
     // ECN fraction of acked bytes in parts per million (fits the integer slot).
@@ -581,7 +584,7 @@ void SlowPath::RunCongestionControl(FlowId flow_id, Flow& flow) {
         feedback.acked_bytes > 0
             ? feedback.ecn_bytes * 1'000'000u / feedback.acked_bytes
             : 0;
-    const uint64_t limit = flow.wcc != nullptr
+    const uint64_t limit = flow.cold().wcc != nullptr
                                ? flow.cc_window
                                : static_cast<uint64_t>(flow.rate_bps);
     service_->flow_trace().Record(service_->sim()->Now(), flow_id,
@@ -612,13 +615,13 @@ void SlowPath::ScanPending() {
     switch (flow.cstate) {
       case ConnState::kSynSent:
       case ConnState::kSynRcvd: {
-        const TimeNs rto = config.handshake_rto << std::min(flow.ctrl_retries, 6);
-        if (now - flow.last_ctrl_send >= rto) {
-          if (++flow.ctrl_retries > config.max_handshake_retries) {
+        const TimeNs rto = config.handshake_rto << std::min(flow.cold().ctrl_retries, 6);
+        if (now - flow.cold().last_ctrl_send >= rto) {
+          if (++flow.cold().ctrl_retries > config.max_handshake_retries) {
             if (flow.cstate == ConnState::kSynSent) {
               service_->context(flow.fs.context)
                   ->PushEvent(AppEvent{AppEventType::kConnOpenFailed, flow.fs.opaque, id});
-              flow.closed_event_sent = true;
+              flow.cold().closed_event_sent = true;
             }
             ReleaseFlow(id, flow);
             still_pending = false;
@@ -636,18 +639,18 @@ void SlowPath::ScanPending() {
       }
       case ConnState::kEstablished:
       case ConnState::kCloseWait: {
-        if (flow.app_closed && !flow.fin_sent) {
+        if (flow.cold().app_closed && !flow.cold().fin_sent) {
           TrySendFin(id, flow);
-        } else if (!flow.app_closed) {
+        } else if (!flow.cold().app_closed) {
           still_pending = false;
         }
         break;
       }
       case ConnState::kFinWait1:
       case ConnState::kLastAck: {
-        const TimeNs rto = config.handshake_rto << std::min(flow.ctrl_retries, 6);
-        if (now - flow.last_ctrl_send >= rto) {
-          if (++flow.ctrl_retries > config.max_handshake_retries) {
+        const TimeNs rto = config.handshake_rto << std::min(flow.cold().ctrl_retries, 6);
+        if (now - flow.cold().last_ctrl_send >= rto) {
+          if (++flow.cold().ctrl_retries > config.max_handshake_retries) {
             ReleaseFlow(id, flow);
             still_pending = false;
           } else {
@@ -660,7 +663,7 @@ void SlowPath::ScanPending() {
       case ConnState::kFinWait2:
         break;  // Waiting for the peer's FIN; no retransmission needed.
       case ConnState::kTimeWait: {
-        if (now - flow.timewait_start >= config.time_wait) {
+        if (now - flow.cold().timewait_start >= config.time_wait) {
           ReleaseFlow(id, flow);
           still_pending = false;
         }
@@ -678,7 +681,7 @@ void SlowPath::ScanPending() {
     if (still_pending) {
       keep.push_back(id);
     } else {
-      cur->in_pending = false;
+      cur->cold().in_pending = false;
     }
   }
   pending_.swap(keep);
@@ -704,10 +707,16 @@ void SlowPath::MonitorCores() {
     busy_snapshot_[i] = service_->fastpath_cpu(i)->busy_ns();
   }
 
-  if (idle_total > service_->config().idle_remove_threshold && active > 1) {
+  if (service_->config().dynamic_cores && idle_total > service_->config().idle_remove_threshold &&
+      active > 1) {
     service_->SetActiveCores(active - 1);
-  } else if (idle_total < service_->config().idle_add_threshold && active < max_cores) {
+  } else if (service_->config().dynamic_cores &&
+             idle_total < service_->config().idle_add_threshold && active < max_cores) {
     service_->SetActiveCores(active + 1);
+  } else if (service_->config().group_migration && active > 1) {
+    // Stable core count this interval: spend it on load balancing instead.
+    // One flow-group migration per interval keeps the controller stable.
+    service_->steering()->MaybeRebalance(active, service_->config().migrate_imbalance);
   }
 }
 

@@ -1,0 +1,160 @@
+#include "src/tas/steering.h"
+
+#include "src/nic/nic.h"
+#include "src/tas/fast_path.h"
+#include "src/tas/service.h"
+#include "src/util/logging.h"
+
+namespace tas {
+
+FlowGroupSteering::FlowGroupSteering(TasService* service) : service_(service) {
+  groups_.resize(service->nic()->rss_entries());
+  hits_snapshot_.assign(groups_.size(), 0);
+}
+
+int FlowGroupSteering::CoreOf(int entry) const {
+  return service_->nic()->RedirectionEntryQueue(entry);
+}
+
+void FlowGroupSteering::DeferFlowTx(int entry, FlowId id) {
+  GroupState& g = groups_[static_cast<size_t>(entry)];
+  TAS_DCHECK(g.draining);
+  g.deferred.push_back(id);
+  ++deferred_items_;
+}
+
+bool FlowGroupSteering::MigrateGroup(int entry, int target_core) {
+  GroupState& g = groups_[static_cast<size_t>(entry)];
+  const int current = CoreOf(entry);
+  if (g.draining) {
+    if (target_core == g.target_core) {
+      return false;
+    }
+    // Retarget the in-flight drain; the source quiesce already underway
+    // covers the new destination too.
+    g.target_core = target_core;
+    return true;
+  }
+  if (target_core == current) {
+    return false;
+  }
+  FastPathCore* src = service_->fastpath(current);
+  const uint64_t backlog =
+      src->queued_items() + service_->nic()->RxQueueLen(current);
+  g.source_core = current;
+  g.target_core = target_core;
+  if (backlog == 0) {
+    // Source core quiesced already: flip eagerly (identical to the legacy
+    // whole-table rewrite for idle transitions).
+    Flip(static_cast<size_t>(entry), g);
+    return true;
+  }
+  g.draining = true;
+  g.drain_target = src->items_processed() + backlog;
+  ++draining_count_;
+  return true;
+}
+
+void FlowGroupSteering::SetActiveCores(int active) {
+  TAS_DCHECK(active >= 1);
+  for (size_t e = 0; e < groups_.size(); ++e) {
+    MigrateGroup(static_cast<int>(e), static_cast<int>(e % static_cast<size_t>(active)));
+  }
+}
+
+void FlowGroupSteering::OnCoreProgress(int core) {
+  if (draining_count_ == 0) {
+    return;
+  }
+  const uint64_t processed = service_->fastpath(core)->items_processed();
+  for (size_t e = 0; e < groups_.size(); ++e) {
+    GroupState& g = groups_[e];
+    if (g.draining && g.source_core == core && processed >= g.drain_target) {
+      ++migrations_;
+      Flip(e, g);
+    }
+  }
+}
+
+void FlowGroupSteering::Flip(size_t entry, GroupState& g) {
+  const int target = g.target_core;
+  service_->nic()->SetRedirectionEntry(entry, target);
+  ++group_moves_;
+  if (g.draining) {
+    g.draining = false;
+    --draining_count_;
+  }
+  g.source_core = -1;
+  g.target_core = -1;
+  g.drain_target = 0;
+  if (g.deferred.empty()) {
+    return;
+  }
+  // Re-enqueue parked TX work on the new owner. The items kept tx_pending
+  // set while parked, so no duplicate enqueue could happen in between.
+  std::vector<FlowId> parked;
+  parked.swap(g.deferred);
+  for (FlowId id : parked) {
+    Flow* flow = service_->flow_by_id(id);
+    if (flow == nullptr) {
+      continue;
+    }
+    if (!flow->FastPathEligible()) {
+      flow->tx_pending = false;
+      continue;
+    }
+    service_->fastpath(target)->EnqueueFlowTx(id);
+  }
+  // Keep the buffer for the next drain of this group (steady-state
+  // migrations allocate only when a drain parks more work than any before).
+  parked.clear();
+  g.deferred = std::move(parked);
+}
+
+int FlowGroupSteering::MaybeRebalance(int active_cores, double imbalance_factor) {
+  const std::vector<uint64_t>& hits = service_->nic()->entry_hits();
+  // Interval load per core: sum of this interval's per-entry deltas over the
+  // entries each core currently owns.
+  std::vector<uint64_t> core_load(static_cast<size_t>(service_->max_cores()), 0);
+  std::vector<uint64_t> delta(groups_.size(), 0);
+  for (size_t e = 0; e < groups_.size(); ++e) {
+    delta[e] = hits[e] - hits_snapshot_[e];
+    hits_snapshot_[e] = hits[e];
+    core_load[static_cast<size_t>(CoreOf(static_cast<int>(e)))] += delta[e];
+  }
+  int busiest = 0;
+  int least = 0;
+  for (int c = 1; c < active_cores; ++c) {
+    if (core_load[static_cast<size_t>(c)] > core_load[static_cast<size_t>(busiest)]) busiest = c;
+    if (core_load[static_cast<size_t>(c)] < core_load[static_cast<size_t>(least)]) least = c;
+  }
+  if (busiest == least) {
+    return 0;
+  }
+  const double busy_load = static_cast<double>(core_load[static_cast<size_t>(busiest)]);
+  const double least_load = static_cast<double>(core_load[static_cast<size_t>(least)]);
+  if (busy_load < imbalance_factor * (least_load + 1.0)) {
+    return 0;
+  }
+  // Move the hottest non-draining group off the busiest core — but not one
+  // so hot the move would just invert the imbalance.
+  const uint64_t gap_half = static_cast<uint64_t>((busy_load - least_load) / 2.0);
+  int best_entry = -1;
+  uint64_t best_delta = 0;
+  for (size_t e = 0; e < groups_.size(); ++e) {
+    if (groups_[e].draining || CoreOf(static_cast<int>(e)) != busiest) {
+      continue;
+    }
+    if (delta[e] > best_delta && delta[e] <= gap_half) {
+      best_delta = delta[e];
+      best_entry = static_cast<int>(e);
+    }
+  }
+  if (best_entry < 0 || best_delta == 0) {
+    return 0;
+  }
+  ++rebalances_;
+  return MigrateGroup(best_entry, least) ? 1 : 0;
+}
+
+}  // namespace tas

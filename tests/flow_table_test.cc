@@ -112,6 +112,148 @@ TEST(FlowTableTest, CapacityIsPowerOfTwoAndBoundsLoadFactor) {
   EXPECT_GE(table.stats().max_probe, 1u);
 }
 
+TEST(FlowTableTest, MillionFlowChurnWithStaleIdRejection) {
+  // The ROADMAP capacity target exercised directly: hold over a million live
+  // keys through growth rehashes, then churn erase+reinsert; meanwhile a
+  // slab churns slots so freed FlowIds must go stale (generation bump).
+  FlowTable table;
+  const size_t kFlows = 1'050'000;
+  std::vector<uint64_t> keys(kFlows);
+  for (uint64_t i = 0; i < kFlows; ++i) {
+    keys[i] = i;
+    table.Insert(KeyOf(static_cast<uint32_t>(i)),
+                 MakeFlowId(static_cast<uint32_t>(i) & kFlowSlotMask,
+                            static_cast<uint32_t>(i >> kFlowSlotBits)));
+  }
+  // KeyOf is injective over this range (the i<<7 term dominates), so the
+  // table must report exactly one entry per insert.
+  ASSERT_EQ(table.size(), kFlows);
+
+  Rng rng(0xC0DE);
+  uint64_t next = kFlows;
+  for (size_t op = 0; op < 200'000; ++op) {
+    const size_t victim = static_cast<size_t>(rng.Next() % kFlows);
+    ASSERT_TRUE(table.Erase(KeyOf(static_cast<uint32_t>(keys[victim]))));
+    keys[victim] = next++;
+    const uint32_t k = static_cast<uint32_t>(keys[victim]);
+    table.Insert(KeyOf(k), MakeFlowId(k & kFlowSlotMask, k >> kFlowSlotBits));
+    if ((op & 0x3FF) == 0) {
+      const size_t probe = static_cast<size_t>(rng.Next() % kFlows);
+      const uint32_t pk = static_cast<uint32_t>(keys[probe]);
+      ASSERT_EQ(table.Find(KeyOf(pk)), MakeFlowId(pk & kFlowSlotMask, pk >> kFlowSlotBits));
+    }
+  }
+  EXPECT_EQ(table.size(), kFlows);
+  EXPECT_EQ(table.stats().forced_finishes, 0u);
+  EXPECT_LE(table.stats().max_reloc_slots, FlowTable::kRehashStrideSlots);
+
+  // Slab side: every Free must stale the outstanding id before the slot is
+  // recycled, across many generations per slot.
+  FlowSlab slab;
+  std::vector<FlowId> live;
+  for (int i = 0; i < 4096; ++i) {
+    live.push_back(slab.Allocate());
+  }
+  for (size_t op = 0; op < 100'000; ++op) {
+    const size_t victim = static_cast<size_t>(rng.Next() % live.size());
+    const FlowId old_id = live[victim];
+    slab.Free(old_id);
+    ASSERT_EQ(slab.Get(old_id), nullptr) << "freed id resolved after recycle";
+    live[victim] = slab.Allocate();
+    ASSERT_NE(slab.Get(live[victim]), nullptr);
+  }
+  EXPECT_EQ(slab.live(), 4096u);
+}
+
+TEST(FlowTableTest, TombstoneDriftTriggersSameCapacityRebuild) {
+  // Fill to occupancy 3584 (live + tombstones), then erase most entries:
+  // occupancy is unchanged by erases, so with live far below the drift bound
+  // (7/16 of capacity) the very next insert's occupancy check must trip as a
+  // SAME-capacity rebuild, not growth. This is arithmetic, not placement
+  // luck: Insert checks (live + tombstones + 1) * 8 > slots * 7 before it
+  // probes, so the trigger fires no matter where the new key hashes.
+  FlowTable table(4096);
+  uint32_t next = 0;
+  std::vector<uint32_t> live;
+  for (size_t i = 0; i < 3584; ++i) {  // One under the growth trigger.
+    live.push_back(next);
+    table.Insert(KeyOf(next), MakeFlowId(next, 0));
+    ++next;
+  }
+  ASSERT_EQ(table.stats().rehashes, 0u);
+  size_t head = 0;
+  while (live.size() - head > 784) {
+    ASSERT_TRUE(table.Erase(KeyOf(live[head++])));
+  }
+  ASSERT_EQ(table.tombstones(), 2800u);
+  const size_t cap_before = table.capacity();
+
+  live.push_back(next);
+  table.Insert(KeyOf(next), MakeFlowId(next, 0));
+  ++next;
+  EXPECT_EQ(table.stats().drift_rebuilds, 1u) << "drift rebuild never triggered";
+  EXPECT_EQ(table.capacity(), cap_before) << "drift rebuild must not grow";
+  EXPECT_TRUE(table.rehash_in_progress()) << "drift rebuild must drain incrementally";
+
+  // Churn through the drain (Find is const and does not step the rehash;
+  // mutating ops do, in bounded strides). Live size stays constant.
+  size_t guard = 0;
+  while (table.rehash_in_progress() && guard++ < 1000) {
+    live.push_back(next);
+    table.Insert(KeyOf(next), MakeFlowId(next, 0));
+    ++next;
+    ASSERT_TRUE(table.Erase(KeyOf(live[head++])));
+  }
+  ASSERT_FALSE(table.rehash_in_progress());
+  EXPECT_EQ(table.capacity(), cap_before);
+  EXPECT_EQ(table.stats().forced_finishes, 0u);
+  EXPECT_LE(table.stats().max_reloc_slots, 64u);
+  // The rebuild collapsed the tombstone population and kept every live key.
+  EXPECT_LT(table.tombstones(), 2800u / 2);
+  for (size_t i = head; i < live.size(); ++i) {
+    ASSERT_EQ(table.Find(KeyOf(live[i])), MakeFlowId(live[i], 0));
+  }
+}
+
+TEST(FlowTableTest, FindDuringIncrementalRehashSeesBothTables) {
+  // Push a 1024-slot table over the growth bound, then operate while the
+  // rehash drains: lookups must consult both tables, erases of not-yet-
+  // migrated keys must land in the old table, and the drain must complete
+  // through bounded per-op strides only.
+  FlowTable table(1024);
+  uint32_t next = 0;
+  for (size_t i = 0; i < 900; ++i) {  // Growth trigger at occupancy 896.
+    table.Insert(KeyOf(next), MakeFlowId(next, 0));
+    ++next;
+  }
+  ASSERT_TRUE(table.rehash_in_progress());
+  ASSERT_GT(table.rehash_remaining_slots(), 0u);
+
+  // All keys resolve mid-drain (some migrated, some still in the old table).
+  for (uint32_t i = 0; i < next; ++i) {
+    ASSERT_EQ(table.Find(KeyOf(i)), MakeFlowId(i, 0));
+  }
+  // Erase keys while draining: wherever each one currently lives, it must
+  // disappear from lookups and never resurface after the drain completes.
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Erase(KeyOf(i)));
+    ASSERT_EQ(table.Find(KeyOf(i)), kInvalidFlow);
+  }
+  // Keep mutating until the drain retires the old table.
+  size_t guard = 0;
+  while (table.rehash_in_progress() && guard++ < 10'000) {
+    table.Insert(KeyOf(next), MakeFlowId(next, 0));
+    ++next;
+  }
+  ASSERT_FALSE(table.rehash_in_progress());
+  for (uint32_t i = 0; i < next; ++i) {
+    ASSERT_EQ(table.Find(KeyOf(i)), i < 100 ? kInvalidFlow : MakeFlowId(i, 0));
+  }
+  EXPECT_GT(table.stats().relocated, 0u);
+  EXPECT_EQ(table.stats().forced_finishes, 0u);
+  EXPECT_LE(table.stats().max_reloc_slots, FlowTable::kRehashStrideSlots);
+}
+
 TEST(FlowSlabTest, AllocateResolvesAndFreeStalesId) {
   FlowSlab slab;
   const FlowId a = slab.Allocate();

@@ -54,15 +54,14 @@ class ParallelSimTest : public ::testing::Test {
   bool had_env_ = false;
 };
 
-LinkConfig IslandLink(TimeNs propagation, uint64_t rng_seed) {
+LinkConfig IslandLink(TimeNs propagation) {
   LinkConfig link;
   link.gbps = 10.0;
   link.propagation_delay = propagation;
   link.queue_limit_pkts = 256;
-  // Explicit per-link seed: with the default (0) each Link derives its seed
-  // from a process-global creation counter, so the three experiments one
-  // sweep constructs would give the same link different fault-RNG streams.
-  link.rng_seed = rng_seed;
+  // Default seed (0): each Link derives its fault-RNG stream from its
+  // endpoint identities, so the same link in separately constructed
+  // experiments draws identically.
   return link;
 }
 
@@ -172,13 +171,12 @@ StarRun RunStar(int sim_threads, bool chaos, bool staggered_delays) {
   specs.push_back(TasSpec(sim_threads));
   specs.back().tas_overridden = true;
   specs.back().tas.trace.latency_stages = true;
-  links.push_back(IslandLink(Us(2), /*rng_seed=*/0x51AA0001));
+  links.push_back(IslandLink(Us(2)));
   for (size_t i = 0; i < kClientHosts; ++i) {
     specs.push_back(TasSpec(sim_threads));
     // Staggered propagation delays de-synchronize the clients so every
     // same-timestamp tie is resolved by provenance, not island order.
-    links.push_back(IslandLink(Us(2) + (staggered_delays ? 333 * (i + 1) : 0),
-                               /*rng_seed=*/0x51AA0002 + i));
+    links.push_back(IslandLink(Us(2) + (staggered_delays ? 333 * (i + 1) : 0)));
   }
   auto exp = Experiment::Star(specs, links, /*switch_latency=*/500);
 

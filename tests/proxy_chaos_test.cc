@@ -22,7 +22,7 @@ LinkConfig ChaosLink() {
   link.gbps = 10.0;
   link.propagation_delay = Us(2);
   link.queue_limit_pkts = 256;
-  link.rng_seed = 42;  // Fixed: impairment draws identical across rigs.
+  // Default seed: identity-derived, so impairment draws match across rigs.
   return link;
 }
 

@@ -17,10 +17,10 @@ namespace {
 
 TEST(FlowBufferTest, AppWriteReadRoundTrip) {
   Flow flow;
-  flow.rx_mem.resize(1024);
-  flow.tx_mem.resize(1024);
-  flow.fs.rx_base = flow.rx_mem.data();
-  flow.fs.tx_base = flow.tx_mem.data();
+  flow.cold().rx_mem.resize(1024);
+  flow.cold().tx_mem.resize(1024);
+  flow.fs.rx_base = flow.cold().rx_mem.data();
+  flow.fs.tx_base = flow.cold().tx_mem.data();
   flow.fs.rx_size = 1024;
   flow.fs.tx_size = 1024;
 
@@ -40,8 +40,8 @@ TEST(FlowBufferTest, AppWriteReadRoundTrip) {
 TEST(FlowBufferTest, WirePositionWrapAround) {
   // Positions are free-running wire sequences: verify modular indexing.
   Flow flow;
-  flow.rx_mem.resize(256);
-  flow.fs.rx_base = flow.rx_mem.data();
+  flow.cold().rx_mem.resize(256);
+  flow.fs.rx_base = flow.cold().rx_mem.data();
   flow.fs.rx_size = 256;
   const uint32_t base = 0xFFFFFF80u;  // Near the 32-bit wrap.
   flow.fs.rx_head = base;
@@ -60,8 +60,8 @@ TEST(FlowBufferTest, WirePositionWrapAround) {
 
 TEST(FlowBufferTest, TxWriteRespectsCapacity) {
   Flow flow;
-  flow.tx_mem.resize(128);
-  flow.fs.tx_base = flow.tx_mem.data();
+  flow.cold().tx_mem.resize(128);
+  flow.fs.tx_base = flow.cold().tx_mem.data();
   flow.fs.tx_size = 128;
   uint8_t data[200] = {};
   EXPECT_EQ(flow.AppWriteTx(data, 200), 128u);
