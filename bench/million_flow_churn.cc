@@ -29,6 +29,7 @@
 #include "bench/bench_common.h"
 #include "src/tas/fast_path.h"
 #include "src/tas/steering.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/latency.h"
 #include "src/util/zipf.h"
 
@@ -234,6 +235,8 @@ struct SvcResult {
   uint64_t partition_mismatches = 0;
   uint64_t churned = 0;
   uint64_t stale_rejected = 0;
+  uint64_t watchdog_triggers = 0;  // Armed runs only.
+  uint64_t recorder_records = 0;
   FlowTableReport table;
   double wall_sec = 0;
 };
@@ -247,7 +250,11 @@ FlowKey SvcKey(uint64_t i) {
   return key;
 }
 
-SvcResult RunServiceChurn(std::vector<std::string>& failures) {
+// `armed` runs the identical workload with the flight recorder + SLO
+// watchdog on (default conservative SLOs, in-memory): the fingerprint
+// compare against the unarmed run doubles as a timing-passivity gate at
+// million-flow scale, and the conservative SLO set must stay silent.
+SvcResult RunServiceChurn(std::vector<std::string>& failures, bool armed = false) {
   const size_t kFlows = ScalePick(131'072, 1'000'000);
   const size_t kRounds = ScalePick(64, 128);
   const size_t kPktsPerRound = ScalePick(256, 512);
@@ -266,6 +273,7 @@ SvcResult RunServiceChurn(std::vector<std::string>& failures) {
   server.tas.migrate_imbalance = 1.15;
   server.tas.monitor_interval = Ms(1);
   server.tas.trace.latency_stages = true;
+  server.tas.watchdog.enabled = armed;
   HostSpec peer;  // Linux-stack placeholder; injected traffic never crosses.
   auto exp = Experiment::PointToPoint(server, peer, ServerLink());
   TasService* tas = exp->host(0).tas();
@@ -286,6 +294,10 @@ SvcResult RunServiceChurn(std::vector<std::string>& failures) {
   uint64_t injected = 0;
   size_t churn_cursor = 0;
   const uint64_t events_before = exp->events_executed();
+  // Absolute round deadlines: Now() after RunUntil is the last *executed*
+  // event's time, so Now()-relative targets would let passive bookkeeping
+  // events (e.g. the armed watchdog's checks) shift the injection schedule.
+  TimeNs round_deadline = exp->sim().Now();
   for (size_t round = 0; round < kRounds; ++round) {
     for (size_t p = 0; p < kPktsPerRound; ++p) {
       const Flow* f = tas->flow_by_id(ids[zipf.Sample(traffic_rng)]);
@@ -294,7 +306,8 @@ SvcResult RunServiceChurn(std::vector<std::string>& failures) {
                                  TcpFlags::kAck));
       ++injected;
     }
-    exp->sim().RunUntil(exp->sim().Now() + Us(200));
+    round_deadline += Us(200);
+    exp->sim().RunUntil(round_deadline);
     // Connection churn: retire flows round-robin; their ids must go stale
     // (generation bump) before the slot's replacement flow reuses it.
     for (size_t c = 0; c < kChurnPerRound; ++c) {
@@ -309,7 +322,7 @@ SvcResult RunServiceChurn(std::vector<std::string>& failures) {
       ++r.churned;
     }
   }
-  exp->sim().RunUntil(exp->sim().Now() + Ms(2));  // Drain everything.
+  exp->sim().RunUntil(round_deadline + Ms(2));  // Drain everything.
 
   r.packets = injected;
   r.events = exp->events_executed() - events_before;
@@ -325,13 +338,22 @@ SvcResult RunServiceChurn(std::vector<std::string>& failures) {
   r.deferred_items = steer->deferred_items();
   r.partition_mismatches = tas->tracer().latency().partition_mismatches();
   r.table = CaptureFlowTableReport(tas);
+  if (armed) {
+    FlightRecorder* recorder = tas->owned_recorder();
+    r.watchdog_triggers = recorder->triggers().size();
+    for (int s = 0; s < kNumRecorderStreams; ++s) {
+      r.recorder_records += recorder->recorded(static_cast<RecorderStream>(s));
+    }
+  }
 
   // State fingerprint over everything steering could perturb: per-core
   // retirement counters, per-entry NIC hits, steering/stat counters, and a
-  // sample of per-flow TCP state. Two same-seed runs must match bit-exactly.
+  // sample of per-flow TCP state. Two same-seed runs must match bit-exactly —
+  // including one armed run vs one unarmed run, which is why the fingerprint
+  // covers workload state only: the armed watchdog adds periodic check
+  // *events* (and Now() ends on the last executed event) without changing any
+  // packet, flow, or counter below.
   uint64_t h = 0xCBF29CE484222325ull;
-  h = Mix(h, static_cast<uint64_t>(exp->sim().Now()));
-  h = Mix(h, r.events);
   for (int i = 0; i < tas->max_cores(); ++i) {
     h = Mix(h, tas->fastpath(i)->items_processed());
   }
@@ -413,10 +435,20 @@ int Run(int argc, char** argv) {
   const TableResult t = RunTableChurn(failures);
   const uint64_t drift = RunDriftExercise(failures);
   const SvcResult a = RunServiceChurn(failures);
-  const SvcResult b = RunServiceChurn(failures);
+  // Run B repeats the workload with the watchdog armed: the fingerprint
+  // compare is both the same-seed determinism gate and the recorder's
+  // timing-passivity gate at scale.
+  const SvcResult b = RunServiceChurn(failures, /*armed=*/true);
   const bool deterministic = a.fingerprint == b.fingerprint;
+  const double recorder_overhead = a.wall_sec > 0 ? b.wall_sec / a.wall_sec : 0;
   if (!deterministic) {
-    Fail(failures, "phaseB: same-seed reruns diverged (fingerprint mismatch)");
+    Fail(failures, "phaseB: armed same-seed rerun diverged (recorder not passive)");
+  }
+  if (b.watchdog_triggers != 0) {
+    Fail(failures, "phaseB: armed run triggered a default SLO (false positive)");
+  }
+  if (b.recorder_records == 0) {
+    Fail(failures, "phaseB: armed run retained no recorder records");
   }
   if (a.rebalances == 0 || a.group_moves == 0) {
     Fail(failures, "phaseB: load-aware migration never fired under zipf skew");
@@ -450,6 +482,10 @@ int Run(int argc, char** argv) {
   table.AddRow("B: table probe p99", a.table.probe_p99);
   table.AddRow("B: deterministic rerun", deterministic ? "yes" : "NO");
   table.AddRow("B: wall sec (each run)", Fmt(a.wall_sec, 2) + " / " + Fmt(b.wall_sec, 2));
+  table.AddRow("B: recorder overhead (wall)", Fmt(recorder_overhead, 3) + "x (armed rerun)");
+  table.AddRow("B: recorder records / triggers",
+               std::to_string(b.recorder_records) + " / " +
+                   std::to_string(b.watchdog_triggers));
   table.AddRow("peak RSS MiB", Fmt(static_cast<double>(PeakRssKb()) / 1024.0, 1));
   table.Print();
 
@@ -491,6 +527,9 @@ int Run(int argc, char** argv) {
             << ",\"deterministic\":" << (deterministic ? 1 : 0)
             << ",\"fingerprint\":" << a.fingerprint
             << ",\"svc_wall_sec\":" << a.wall_sec
+            << ",\"watchdog_triggers\":" << b.watchdog_triggers
+            << ",\"recorder_records\":" << b.recorder_records
+            << ",\"recorder_overhead_wall\":" << recorder_overhead
             << ",\"peak_rss_kb\":" << PeakRssKb() << "}" << std::endl;
 
   if (argc > 1) {

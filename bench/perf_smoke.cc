@@ -13,8 +13,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/latency.h"
 
 namespace tas {
@@ -30,6 +32,21 @@ bool LatencyEnabled() {
   const char* env = std::getenv("TAS_LATENCY");
   return env != nullptr && *env != '\0' && std::string(env) != "0";
 }
+
+// TAS_WATCHDOG_BENCH=1 runs the workload a second time with the flight
+// recorder + SLO watchdog armed (default conservative SLOs, in-memory only)
+// and emits the recorder-overhead column. Self-gating: the armed run must be
+// workload-identical (ops/packets/bytes/retransmits/median — armed taps are
+// timing-passive), must not trigger (false positive on a clean run), and the
+// wall-clock overhead must stay under kMaxRecorderOverhead.
+bool WatchdogBenchEnabled() {
+  const char* env = std::getenv("TAS_WATCHDOG_BENCH");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+// Generous: the armed run's cost is a POD ring write per tap, but this gate
+// also absorbs single-core CI wall-clock noise across two back-to-back runs.
+constexpr double kMaxRecorderOverhead = 1.5;
 
 // The same workload on the pre-pooling simulator core (std::function
 // events + shared_ptr cancel flags + per-packet heap allocation),
@@ -74,11 +91,13 @@ struct SmokeResult {
   size_t event_nodes = 0;
   PacketPoolStats pool;
   std::string latency_json;  // Empty unless TAS_LATENCY is set.
+  uint64_t watchdog_triggers = 0;  // Armed runs only.
+  uint64_t recorder_records = 0;   // Records retained across all streams.
 };
 
 // Inlined fig6-style pipelined echo run (see RunEcho in bench_common.h);
 // inlined so the simulator's event counter can be read before teardown.
-SmokeResult RunSmoke() {
+SmokeResult RunSmoke(bool armed = false) {
   const size_t kConnections = 100;
   const size_t kClientHosts = 4;
   const size_t kMessageBytes = 64;
@@ -90,6 +109,9 @@ SmokeResult RunSmoke() {
   specs.push_back(ServerSpec(StackKind::kTas, 1, 2, 64 * 1024));
   if (LatencyEnabled()) {
     specs.back().tas.trace.latency_stages = true;
+  }
+  if (armed) {
+    specs.back().tas.watchdog.enabled = true;  // Default SLOs, in-memory only.
   }
   links.push_back(ServerLink());
   for (size_t i = 0; i < kClientHosts; ++i) {
@@ -166,6 +188,13 @@ SmokeResult RunSmoke() {
   if (LatencyEnabled()) {
     result.latency_json = exp->host(0).tas()->tracer().latency().Report().ToJson();
   }
+  if (armed) {
+    FlightRecorder* recorder = exp->host(0).tas()->owned_recorder();
+    result.watchdog_triggers = recorder->triggers().size();
+    for (int s = 0; s < kNumRecorderStreams; ++s) {
+      result.recorder_records += recorder->recorded(static_cast<RecorderStream>(s));
+    }
+  }
   return result;
 }
 
@@ -175,7 +204,7 @@ long PeakRssKb() {
   return usage.ru_maxrss;
 }
 
-void Run() {
+int Run() {
   PrintHeader("perf_smoke: simulator-core event throughput",
               "fig6-style pipelined RPC (64B, depth 16, TAS server)");
 
@@ -189,6 +218,30 @@ void Run() {
   const double speedup_pr3 = kPostPr3WallSec / r.wall_sec;
   const double epp_ratio_pr3 =
       events_per_packet > 0 ? kPostPr3EventsPerPacket / events_per_packet : 0;
+
+  // Recorder-overhead column: the same workload with the watchdog armed.
+  std::vector<std::string> gate_failures;
+  SmokeResult armed;
+  double recorder_overhead = 0;
+  if (WatchdogBenchEnabled()) {
+    armed = RunSmoke(/*armed=*/true);
+    recorder_overhead = r.wall_sec > 0 ? armed.wall_sec / r.wall_sec : 0;
+    // Timing passivity: every workload-facing result must be bit-identical.
+    if (armed.ops_count != r.ops_count || armed.packets != r.packets ||
+        armed.bytes_delivered != r.bytes_delivered ||
+        armed.retransmits != r.retransmits || armed.median_us != r.median_us) {
+      gate_failures.push_back("armed run changed workload results (not passive)");
+    }
+    if (armed.watchdog_triggers != 0) {
+      gate_failures.push_back("armed run triggered a default SLO (false positive)");
+    }
+    if (armed.recorder_records == 0) {
+      gate_failures.push_back("armed run retained no recorder records");
+    }
+    if (recorder_overhead > kMaxRecorderOverhead) {
+      gate_failures.push_back("recorder wall-clock overhead exceeds the gate");
+    }
+  }
 
   TablePrinter table({"Metric", "Value"});
   table.AddRow("events dispatched", r.events);
@@ -211,6 +264,12 @@ void Run() {
   table.AddRow("event nodes (slab)", r.event_nodes);
   table.AddRow("pkts allocated", r.pool.allocated);
   table.AddRow("pkts reused", r.pool.reused);
+  if (WatchdogBenchEnabled()) {
+    table.AddRow("armed wall seconds", Fmt(armed.wall_sec, 3));
+    table.AddRow("recorder overhead (wall)", Fmt(recorder_overhead, 3) + "x");
+    table.AddRow("recorder records", armed.recorder_records);
+    table.AddRow("watchdog triggers", armed.watchdog_triggers);
+  }
   table.Print();
 
   // One line, machine readable; CI greps for the prefix.
@@ -251,17 +310,33 @@ void Run() {
             << ",\"max_pending_events\":" << r.max_pending
             << ",\"event_nodes\":" << r.event_nodes
             << ",\"pkt_pool_allocated\":" << r.pool.allocated
-            << ",\"pkt_pool_reused\":" << r.pool.reused << "}" << std::endl;
+            << ",\"pkt_pool_reused\":" << r.pool.reused
+            << ",\"watchdog_armed\":" << (WatchdogBenchEnabled() ? 1 : 0)
+            << ",\"watchdog_triggers\":" << armed.watchdog_triggers
+            << ",\"recorder_records\":" << armed.recorder_records
+            << ",\"recorder_overhead_wall\":" << recorder_overhead
+            << ",\"armed_wall_sec\":" << armed.wall_sec << "}" << std::endl;
 
   if (!r.latency_json.empty()) {
     const LatencyReport report = ParseLatencyReportJson(r.latency_json);
     std::cout << "\n" << report.ToTable();
     std::cout << "PERF_LATENCY_JSON " << r.latency_json << std::endl;
   }
+  if (!gate_failures.empty()) {
+    for (const std::string& f : gate_failures) {
+      std::cout << "GATE FAIL: " << f << "\n";
+    }
+    std::cout << "PERF_SMOKE_GATES FAIL (" << gate_failures.size() << ")\n";
+    return 1;
+  }
+  if (WatchdogBenchEnabled()) {
+    std::cout << "PERF_SMOKE_GATES PASS\n";
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace tas
 
-int main() { tas::bench::Run(); }
+int main() { return tas::bench::Run(); }

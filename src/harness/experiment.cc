@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/tas/watchdog.h"
 #include "src/trace/causal.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/latency.h"
 #include "src/util/island.h"
 
@@ -49,6 +51,12 @@ SimHost::SimHost(Simulator* sim, HostPort* port, const HostSpec& spec)
         config.trace.causal = true;
         if (config.trace.sample_period == 0) {
           config.trace.sample_period = Us(100);
+        }
+      }
+      if (const char* wd = WatchdogOutPrefix()) {
+        config.watchdog.enabled = true;
+        if (std::string(wd) != "-") {
+          config.watchdog.bundle_prefix = wd;
         }
       }
       const StackCostModel* api = spec.stack == StackKind::kTas
@@ -154,6 +162,15 @@ void Experiment::EnablePartition(int threads) {
 }
 
 void Experiment::FinishPartitionSetup() {
+  // Watchdog sources carry the harness host index ("h0", "h1", ...) so
+  // trigger records are topology-stable across IP assignment changes. This
+  // runs in every mode, serial included.
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    TasService* tas = hosts_[i]->tas();
+    if (tas != nullptr && tas->watchdog() != nullptr) {
+      tas->watchdog()->set_source("h" + std::to_string(i));
+    }
+  }
   if (partition_ == nullptr) {
     return;
   }
@@ -178,6 +195,13 @@ void Experiment::FinishPartitionSetup() {
   }
   if (CausalTracer* causal = CausalTracer::Current()) {
     causal->EnableShards(islands);
+  }
+  // Shard the flight recorder and defer bundle serialization to the epoch
+  // boundary, where exactly one thread runs while workers are parked — the
+  // only race-free point for merged window reads and file writes mid-run.
+  if (FlightRecorder* recorder = FlightRecorder::Current()) {
+    recorder->EnableShards(islands);
+    partition_->SetEpochHook([recorder](TimeNs bound) { recorder->OnEpochBound(bound); });
   }
   // Executor counters land in the first TAS host's registry, next to the
   // switch metrics (the bundle WriteTraces dumps).
@@ -326,6 +350,11 @@ size_t ScalePick(size_t reduced, size_t full) { return FullScale() ? full : redu
 
 const char* TraceOutPrefix() {
   const char* env = std::getenv("TAS_TRACE_OUT");
+  return (env != nullptr && *env != '\0') ? env : nullptr;
+}
+
+const char* WatchdogOutPrefix() {
+  const char* env = std::getenv("TAS_WATCHDOG");
   return (env != nullptr && *env != '\0') ? env : nullptr;
 }
 

@@ -163,9 +163,11 @@ class Experiment {
   // Creates the SimPartition (threads >= 1) and adopts sim_ as island 0. Must
   // run before the topology is built so hosts/switches land on islands.
   void EnablePartition(int threads);
-  // After hosts exist: per-island packet pools sharing one group-balance
-  // cell, the island-enter hook (thread-local island id + pool override),
-  // tracer sharding, and the sim.island.* metrics. No-op when serial.
+  // After hosts exist: watchdog source naming (every mode), then — for
+  // partitioned runs only — per-island packet pools sharing one
+  // group-balance cell, the island-enter hook (thread-local island id +
+  // pool override), tracer/recorder sharding, the epoch-boundary bundle
+  // hook, and the sim.island.* metrics.
   void FinishPartitionSetup();
 
   // Declared before sim_ (and before partition_, which owns the island
@@ -202,6 +204,12 @@ size_t ScalePick(size_t reduced, size_t full);
 // and makes Experiment dump per-host trace bundles under the prefix on
 // teardown. Returns nullptr when unset.
 const char* TraceOutPrefix();
+
+// Watchdog control: TAS_WATCHDOG=<path-prefix> arms the flight recorder +
+// SLO watchdog on every TAS host the harness builds; triggered diagnostic
+// bundles land under the prefix. The special value "-" arms in-memory only
+// (triggers are recorded, no files are written). Returns nullptr when unset.
+const char* WatchdogOutPrefix();
 
 }  // namespace tas
 

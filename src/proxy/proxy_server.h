@@ -29,6 +29,7 @@
 #include "src/proxy/origin_pool.h"
 #include "src/sim/simulator.h"
 #include "src/trace/causal.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/flow_tracer.h"
 #include "src/trace/metric_registry.h"
 #include "src/trace/tracer.h"
@@ -46,6 +47,15 @@ struct ProxyServerConfig {
   uint64_t hit_app_cycles = 350;   // Parse + lookup + response build.
   uint64_t miss_app_cycles = 800;  // Parse + lookup + origin dispatch + match.
 };
+
+// Proxy-tier SLO specs for the watchdog (flight_recorder.h): kMetricValue
+// reads of the proxy.* gauges the proxy registers into the fronting TAS
+// host's registry. `queued_threshold` bounds the origin-pool overflow queue
+// (the injected-stall signature EXPERIMENTS.md's postmortem recipe hunts);
+// `abort_threshold` bounds cumulative client aborts. Append to
+// WatchdogConfig::slos on the host whose registry carries proxy metrics.
+std::vector<SloSpec> ProxySloSpecs(double queued_threshold = 64,
+                                   double abort_threshold = 0);
 
 class ProxyServer : public AppHandler {
  public:

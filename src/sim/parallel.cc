@@ -228,6 +228,12 @@ void SimPartition::Await(Barrier* b, const std::function<void()>& completion) {
 
 void SimPartition::Decide() {
   ++epochs_;
+  if (epoch_hook_) {
+    // Exactly one thread is here; every worker is parked at the drain
+    // barrier. Fire before the final-window check so the run's last epoch
+    // (where a late breach may have queued a bundle) is covered.
+    epoch_hook_(bound_);
+  }
   if (stop_requested_.load(std::memory_order_relaxed) || inclusive_) {
     // inclusive_ marks the final window: every event <= until has executed
     // and all arrivals posted during it land strictly beyond until (they were

@@ -95,6 +95,17 @@ class SimPartition {
     enter_hook_ = std::move(hook);
   }
 
+  // Called at every epoch boundary with the bound that just completed, on the
+  // single thread that runs Decide() while all other workers are parked at
+  // the drain barrier — the one mid-run point where merged reads across
+  // islands and file writes are race-free. The harness points this at
+  // FlightRecorder::OnEpochBound so queued diagnostic bundles serialize
+  // deterministically. Fires before the stop/final-window check, so the last
+  // epoch of a run is covered too.
+  void SetEpochHook(std::function<void(TimeNs bound)> hook) {
+    epoch_hook_ = std::move(hook);
+  }
+
   // --- Introspection (read between runs; not thread-safe mid-run) ----------
   TimeNs lookahead() const { return lookahead_; }
   uint64_t epochs() const { return epochs_; }
@@ -141,6 +152,7 @@ class SimPartition {
   std::vector<std::unique_ptr<IslandBox>> boxes_;
   TimeNs lookahead_ = 0;  // 0 until the first edge; then min edge delay.
   std::function<void(int)> enter_hook_;
+  std::function<void(TimeNs)> epoch_hook_;
 
   // --- Per-run state (set up by RunUntil, read by workers) -----------------
   TimeNs until_ = 0;

@@ -8,6 +8,7 @@
 #include "src/tas/fast_path.h"
 #include "src/tas/slow_path.h"
 #include "src/tas/steering.h"
+#include "src/tas/watchdog.h"
 
 namespace tas {
 namespace {
@@ -42,6 +43,14 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     CausalTracer::Install(&tracer_->causal());
     causal_installed_ = true;
   }
+  if (config.watchdog.enabled && FlightRecorder::Current() == nullptr) {
+    // First watchdog-enabled host owns the process-wide flight recorder
+    // (events and latency records cross hosts; one recorder retains them
+    // all). Every armed host still runs its own watchdog below.
+    recorder_ = std::make_unique<FlightRecorder>(config.watchdog);
+    FlightRecorder::Install(recorder_.get());
+    recorder_installed_ = true;
+  }
   NicConfig nic_config;
   nic_config.num_queues = config.max_fastpath_cores;
   nic_ = std::make_unique<SimNic>(sim, port, nic_config);
@@ -61,6 +70,12 @@ TasService::TasService(Simulator* sim, HostPort* port, const TasConfig& config)
     port->access_link->RegisterMetrics(&tracer_->metrics(), "link");
   }
   slow_path_->Start();
+  if (config.watchdog.enabled && FlightRecorder::Current() != nullptr) {
+    // All flow events (every flow, every host) feed the recorder's rings.
+    tracer_->flow_events().SetRecorderTap(true);
+    watchdog_ = std::make_unique<SloWatchdog>(this, FlightRecorder::Current());
+    watchdog_->Start();
+  }
 
   active_cores_ = config.dynamic_cores ? 1 : config.max_fastpath_cores;
   nic_->SetActiveQueues(active_cores_);
@@ -123,6 +138,16 @@ void TasService::RegisterTraceInstrumentation() {
   m.AddCounterFn("tas.steer.group_moves", [this] { return steering_->group_moves(); });
   m.AddCounterFn("tas.steer.deferred_items", [this] { return steering_->deferred_items(); });
   m.AddCounterFn("tas.steer.rebalances", [this] { return steering_->rebalances(); });
+  // Instantaneous migration state (the cumulative counters above can't show a
+  // STUCK drain): parked TX items, groups mid-quiesce, and the oldest drain's
+  // age — the watchdog's and an operator's view of wedged migrations.
+  m.AddGauge("tas.steer.deferred_depth",
+             [this] { return static_cast<double>(steering_->DeferredDepth()); });
+  m.AddGauge("tas.steer.draining_groups",
+             [this] { return static_cast<double>(steering_->DrainingGroups()); });
+  m.AddGauge("tas.steer.max_drain_age_ns", [this] {
+    return static_cast<double>(steering_->MaxDrainAge(sim_->Now()));
+  });
   // Fast-path batching: per-core counters aggregated across cores. The RX
   // occupancy histogram buckets are 0 / 1 / 2 / 3-4 / 5-8 / 9+ packets.
   m.AddCounterFn("tas.fastpath.batches", [this] {
@@ -188,6 +213,12 @@ void TasService::RegisterTraceInstrumentation() {
     m.AddCounterFn("causal.dropped", [ct] { return ct->dropped(); });
     m.AddCounterFn("causal.stale", [ct] { return ct->stale(); });
     m.AddCounterFn("causal.truncated", [ct] { return ct->truncated(); });
+    // Which per-trace cap actually bit (counts capped calls; `truncated`
+    // above counts discarded traces) — the signal for resizing kMaxSpans/
+    // kMaxMarks/kMaxLinks instead of guessing.
+    m.AddCounterFn("causal.truncated_spans", [ct] { return ct->truncated_spans(); });
+    m.AddCounterFn("causal.truncated_marks", [ct] { return ct->truncated_marks(); });
+    m.AddCounterFn("causal.truncated_links", [ct] { return ct->truncated_links(); });
     m.AddCounterFn("causal.critical_path_mismatches",
                    [ct] { return ct->critical_path_mismatches(); });
   }
@@ -198,6 +229,35 @@ void TasService::RegisterTraceInstrumentation() {
     return tracer_->flow_events().overwritten() + tracer_->latency().overwritten() +
            tracer_->causal().dropped();
   });
+  // Flow-ring overwrites attributed to the event type that was lost, so a
+  // wrapped ring says WHICH stream needs a bigger window. Every type
+  // registers; types never overwritten read 0.
+  for (int i = 0; i < kNumFlowEventTypes; ++i) {
+    const auto type = static_cast<FlowEventType>(i);
+    m.AddCounterFn(std::string("trace.dropped.flow.") + FlowEventTypeName(type),
+                   [this, type] { return tracer_->flow_events().overwritten_by_type(type); });
+  }
+  if (config_.watchdog.enabled) {
+    m.AddCounterFn("watchdog.checks",
+                   [this] { return watchdog_ ? watchdog_->checks() : 0; });
+    m.AddCounterFn("watchdog.breached_checks",
+                   [this] { return watchdog_ ? watchdog_->breached_checks() : 0; });
+    m.AddCounterFn("watchdog.triggers",
+                   [this] { return watchdog_ ? watchdog_->triggers_fired() : 0; });
+  }
+  if (recorder_ != nullptr) {
+    for (int s = 0; s < kNumRecorderStreams; ++s) {
+      const auto stream = static_cast<RecorderStream>(s);
+      const std::string prefix = std::string("recorder.") + RecorderStreamName(stream);
+      m.AddCounterFn(prefix + ".recorded",
+                     [this, stream] { return recorder_->recorded(stream); });
+      m.AddCounterFn(prefix + ".overwritten",
+                     [this, stream] { return recorder_->overwritten(stream); });
+    }
+    m.AddCounterFn("recorder.bundles", [this] {
+      return static_cast<uint64_t>(recorder_->bundles_written());
+    });
+  }
   nic_->RegisterMetrics(&m, "nic");
   PacketPool::Current().RegisterMetrics(&m, "pktpool");
 
@@ -338,6 +398,9 @@ TasService::~TasService() {
   }
   if (causal_installed_ && CausalTracer::Current() == &tracer_->causal()) {
     CausalTracer::Install(nullptr);
+  }
+  if (recorder_installed_ && FlightRecorder::Current() == recorder_.get()) {
+    FlightRecorder::Install(nullptr);
   }
 }
 

@@ -17,6 +17,7 @@
 #include "src/shm/context_queue.h"
 #include "src/tas/flow.h"
 #include "src/tas/flow_table.h"
+#include "src/trace/flight_recorder.h"
 #include "src/trace/tracer.h"
 #include "src/util/rng.h"
 
@@ -24,6 +25,7 @@ namespace tas {
 
 class FastPathCore;
 class FlowGroupSteering;
+class SloWatchdog;
 class SlowPath;
 
 // How the fast path handles out-of-order arrivals (Fig 7 ablation).
@@ -89,6 +91,12 @@ struct TasConfig {
   // sampling. Everything defaults to off; the metric registry is always on
   // (it only holds pointers into the stats structs).
   TraceConfig trace;
+
+  // Flight recorder + SLO watchdog (DESIGN.md §15). When enabled, the first
+  // such host installs the process-wide FlightRecorder and every armed host
+  // runs an SloWatchdog on the monitor cadence; a sustained breach serializes
+  // a diagnostic bundle. Off by default — and costs nothing off.
+  WatchdogConfig watchdog;
 
   uint64_t rng_seed = 0x7A5;
 
@@ -182,6 +190,12 @@ class TasService {
   // The flow's RSS redirection entry == its flow group (steering unit).
   int RedirectionEntryForFlow(const Flow& flow) const;
   FlowGroupSteering* steering() { return steering_.get(); }
+  // This host's SLO watchdog (null unless config.watchdog.enabled).
+  SloWatchdog* watchdog() { return watchdog_.get(); }
+  // The FlightRecorder this host owns and installed (null unless it was the
+  // first watchdog-enabled host; use FlightRecorder::Current() for the
+  // process-wide instance).
+  FlightRecorder* owned_recorder() { return recorder_.get(); }
   // Queues transmit work for a flow on its owning core.
   void ScheduleFlowTx(FlowId id, TimeNs earliest);
   // Marks a flow for the slow path's next congestion-control iteration.
@@ -223,6 +237,10 @@ class TasService {
   bool latency_installed_ = false;
   // Same for the global CausalTracer (request-level causal tracing).
   bool causal_installed_ = false;
+  // Owned + installed process-wide by the first watchdog-enabled host.
+  std::unique_ptr<FlightRecorder> recorder_;
+  bool recorder_installed_ = false;
+  std::unique_ptr<SloWatchdog> watchdog_;
   TimeSeries* core_series_ = nullptr;  // Owned by tracer_->sampler().
   TasStats stats_;
   Rng rng_;

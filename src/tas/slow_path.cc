@@ -47,6 +47,9 @@ void SlowPath::Start() {
 
 void SlowPath::EnqueueException(PacketPtr pkt) {
   exceptions_.push_back(std::move(pkt));
+  if (exceptions_.size() > exception_depth_hw_) {
+    exception_depth_hw_ = exceptions_.size();
+  }
   MaybeProcess();
 }
 

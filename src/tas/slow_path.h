@@ -29,6 +29,12 @@ class SlowPath {
   // --- Fast path hand-off ----------------------------------------------------
   void EnqueueException(PacketPtr pkt);
 
+  // Exception-queue depth right now, and the deepest it has ever been. The
+  // watchdog's slow-path overload SLO reads the depth each check; the
+  // high-water mark lands in diagnostic bundles.
+  size_t exception_depth() const { return exceptions_.size(); }
+  uint64_t exception_depth_hw() const { return exception_depth_hw_; }
+
   // --- Commands from libTAS (via TasService) ---------------------------------
   void CmdListen(uint16_t port, uint64_t opaque, uint16_t context);
   void CmdConnect(FlowId flow_id);
@@ -78,6 +84,7 @@ class SlowPath {
   TasService* service_;
   Core* cpu_;
   std::deque<PacketPtr> exceptions_;
+  uint64_t exception_depth_hw_ = 0;
   bool busy_ = false;
   std::unordered_map<uint16_t, Listener> listeners_;
   std::vector<FlowId> pending_;  // Flows in handshake or teardown.

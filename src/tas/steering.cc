@@ -51,6 +51,7 @@ bool FlowGroupSteering::MigrateGroup(int entry, int target_core) {
   }
   g.draining = true;
   g.drain_target = src->items_processed() + backlog;
+  g.drain_started = service_->sim()->Now();
   ++draining_count_;
   return true;
 }
@@ -87,6 +88,7 @@ void FlowGroupSteering::Flip(size_t entry, GroupState& g) {
   g.source_core = -1;
   g.target_core = -1;
   g.drain_target = 0;
+  g.drain_started = 0;
   if (g.deferred.empty()) {
     return;
   }
@@ -155,6 +157,37 @@ int FlowGroupSteering::MaybeRebalance(int active_cores, double imbalance_factor)
   }
   ++rebalances_;
   return MigrateGroup(best_entry, least) ? 1 : 0;
+}
+
+size_t FlowGroupSteering::DeferredDepth() const {
+  size_t depth = 0;
+  for (const GroupState& g : groups_) {
+    depth += g.deferred.size();
+  }
+  return depth;
+}
+
+TimeNs FlowGroupSteering::MaxDrainAge(TimeNs now) const {
+  TimeNs max_age = 0;
+  for (const GroupState& g : groups_) {
+    if (g.draining && now - g.drain_started > max_age) {
+      max_age = now - g.drain_started;
+    }
+  }
+  return max_age;
+}
+
+std::vector<FlowGroupSteering::DrainingGroup> FlowGroupSteering::DrainingState() const {
+  std::vector<DrainingGroup> out;
+  for (size_t e = 0; e < groups_.size(); ++e) {
+    const GroupState& g = groups_[e];
+    if (!g.draining) {
+      continue;
+    }
+    out.push_back(DrainingGroup{static_cast<int>(e), g.source_core, g.target_core,
+                                g.drain_target, g.deferred.size(), g.drain_started});
+  }
+  return out;
 }
 
 }  // namespace tas

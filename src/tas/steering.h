@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/tas/flow_state.h"
+#include "src/util/time.h"
 
 namespace tas {
 
@@ -73,12 +74,32 @@ class FlowGroupSteering {
   uint64_t deferred_items() const { return deferred_items_; }
   uint64_t rebalances() const { return rebalances_; }
 
+  // --- Instantaneous drain state (gauges + diagnostic bundles) ---------------
+  // Flows currently parked across all draining groups.
+  size_t DeferredDepth() const;
+  int DrainingGroups() const { return draining_count_; }
+  // Age of the oldest in-flight drain, 0 when none — a large value means a
+  // stuck migration (the source core stopped retiring items).
+  TimeNs MaxDrainAge(TimeNs now) const;
+
+  // Snapshot of every draining group, entry order (bundle context).
+  struct DrainingGroup {
+    int entry = -1;
+    int source_core = -1;
+    int target_core = -1;
+    uint64_t drain_target = 0;
+    size_t deferred = 0;
+    TimeNs started = 0;
+  };
+  std::vector<DrainingGroup> DrainingState() const;
+
  private:
   struct GroupState {
     bool draining = false;
     int source_core = -1;
     int target_core = -1;
     uint64_t drain_target = 0;  // Source core's items_processed() threshold.
+    TimeNs drain_started = 0;   // Sim time the quiesce was requested.
     std::vector<FlowId> deferred;
   };
 

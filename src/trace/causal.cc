@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/sim/parallel.h"
+#include "src/trace/flight_recorder.h"
 #include "src/util/island.h"
 #include "src/util/logging.h"
 
@@ -239,6 +240,7 @@ uint32_t CausalTracer::StartSpan(uint64_t trace, uint32_t parent, CausalSpanKind
   }
   if (r->spans.size() >= kMaxSpans) {
     r->truncated = true;
+    ++CurShard().truncated_spans;
     return 0;
   }
   Shard& shard = CurShard();
@@ -279,6 +281,7 @@ void CausalTracer::Mark(uint64_t trace, CausalEdge edge, TimeNs now) {
   }
   if (r->marks.size() >= kMaxMarks) {
     r->truncated = true;
+    ++CurShard().truncated_marks;
     return;
   }
   r->marks.push_back(CausalMark{now, edge});
@@ -301,6 +304,7 @@ void CausalTracer::Link(uint64_t from_trace, uint32_t from_span, uint64_t to_tra
   }
   if (r->links.size() >= kMaxLinks) {
     r->truncated = true;
+    ++CurShard().truncated_links;
     return;
   }
   r->links.push_back(CausalLink{from_trace, from_span, to_span});
@@ -340,6 +344,9 @@ void CausalTracer::Finish(uint64_t trace, TimeNs end) {
   shard.e2e_stats[ci].Add(static_cast<double>(e2e));
   ++shard.completed;
   MaybeRetainExemplar(*r, end);
+  if (FlightRecorder* recorder = FlightRecorder::Current()) {
+    recorder->RecordCausal(end, r->id, static_cast<uint8_t>(r->cls), e2e);
+  }
   r->id = 0;
 }
 

@@ -264,6 +264,13 @@ class CausalTracer {
   uint64_t dropped() const { return SumCounter(&Shard::dropped); }
   uint64_t stale() const { return SumCounter(&Shard::stale); }
   uint64_t truncated() const { return SumCounter(&Shard::truncated); }
+  // Truncation attributed to the cap that was hit — which stream overflowed
+  // (the satellite fix to the single opaque `truncated` counter). One trace
+  // can charge several caps; the per-site counters count capped *calls*, the
+  // aggregate above counts discarded *traces*.
+  uint64_t truncated_spans() const { return SumCounter(&Shard::truncated_spans); }
+  uint64_t truncated_marks() const { return SumCounter(&Shard::truncated_marks); }
+  uint64_t truncated_links() const { return SumCounter(&Shard::truncated_links); }
   // Finished traces whose mark chain failed to partition end-to-end time, or
   // that never got a class — 0 unless a stamp site regresses.
   uint64_t critical_path_mismatches() const {
@@ -319,6 +326,9 @@ class CausalTracer {
     uint64_t dropped = 0;
     uint64_t stale = 0;
     uint64_t truncated = 0;
+    uint64_t truncated_spans = 0;
+    uint64_t truncated_marks = 0;
+    uint64_t truncated_links = 0;
     uint64_t critical_path_mismatches = 0;
   };
 

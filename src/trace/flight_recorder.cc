@@ -1,0 +1,424 @@
+#include "src/trace/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/sim/parallel.h"
+#include "src/trace/causal.h"
+#include "src/trace/metric_registry.h"
+#include "src/util/island.h"
+#include "src/util/logging.h"
+
+namespace tas {
+namespace {
+
+// Mirrors tracer.cc: microsecond timestamps with fixed three-decimal
+// nanosecond precision, so Perfetto output is byte-stable across runs.
+std::string TsUs(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  return buf;
+}
+
+constexpr int kPid = 1;
+// Recorder tracks sit above the flow tracks of the full-trace bundle
+// (kFlowTrackBase = 1<<20 there); one track per island per stream.
+constexpr uint64_t kIslandTrackBase = 1u << 22;
+constexpr uint64_t kIslandTrackStride = 8;
+
+uint64_t IslandTrack(uint32_t island, RecorderStream stream) {
+  return kIslandTrackBase + island * kIslandTrackStride + static_cast<uint64_t>(stream);
+}
+
+size_t RingCapacity(const WatchdogConfig& config, RecorderStream stream) {
+  switch (stream) {
+    case RecorderStream::kFlow:
+      return config.flow_ring_capacity;
+    case RecorderStream::kLatency:
+      return config.latency_ring_capacity;
+    case RecorderStream::kCausal:
+      return config.causal_ring_capacity;
+    case RecorderStream::kSlo:
+      return config.slo_ring_capacity;
+  }
+  return 1;
+}
+
+}  // namespace
+
+FlightRecorder* FlightRecorder::current_ = nullptr;
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kE2eLatencyP99:
+      return "e2e_latency_p99";
+    case SloKind::kRetransmitRate:
+      return "retransmit_rate";
+    case SloKind::kSlowPathQueueDepth:
+      return "slowpath_queue_depth";
+    case SloKind::kFlowTableProbeP99:
+      return "flow_table_probe_p99";
+    case SloKind::kCoreImbalance:
+      return "core_imbalance";
+    case SloKind::kMetricValue:
+      return "metric_value";
+  }
+  return "?";
+}
+
+const char* RecorderStreamName(RecorderStream stream) {
+  switch (stream) {
+    case RecorderStream::kFlow:
+      return "flow";
+    case RecorderStream::kLatency:
+      return "latency";
+    case RecorderStream::kCausal:
+      return "causal";
+    case RecorderStream::kSlo:
+      return "slo";
+  }
+  return "?";
+}
+
+std::vector<SloSpec> DefaultSlos() {
+  // Conservative: a healthy run (perf_smoke's clean RPC workload, the churn
+  // bench's steady state) stays far below every threshold; CI hard-fails on
+  // a false positive, so these err loose. Chaos/bench scenarios that want
+  // sharp triggers set explicit specs.
+  std::vector<SloSpec> slos;
+  slos.push_back({"e2e_p99", SloKind::kE2eLatencyP99,
+                  static_cast<double>(Ms(50)), 3, 64, ""});
+  slos.push_back({"retransmit_rate", SloKind::kRetransmitRate, 1000.0, 3, 0, ""});
+  slos.push_back({"slowpath_queue_depth", SloKind::kSlowPathQueueDepth, 128.0, 3, 0, ""});
+  slos.push_back({"flow_table_probe_p99", SloKind::kFlowTableProbeP99, 64.0, 3, 64, ""});
+  slos.push_back({"core_imbalance", SloKind::kCoreImbalance, 16.0, 3,
+                  static_cast<uint64_t>(Us(100)), ""});
+  return slos;
+}
+
+FlightRecorder::FlightRecorder(const WatchdogConfig& config) : config_(config) {
+  shards_.push_back(std::make_unique<Shard>());
+  for (int s = 0; s < kNumRecorderStreams; ++s) {
+    const size_t cap = RingCapacity(config_, static_cast<RecorderStream>(s));
+    shards_[0]->streams[static_cast<size_t>(s)].ring.resize(cap > 0 ? cap : 1);
+  }
+}
+
+FlightRecorder* FlightRecorder::Install(FlightRecorder* recorder) {
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "FlightRecorder::Install during a partitioned run";
+  FlightRecorder* previous = current_;
+  current_ = recorder;
+  return previous;
+}
+
+void FlightRecorder::EnableShards(int num_shards) {
+  TAS_CHECK(num_shards >= 1);
+  TAS_CHECK(!SimPartition::AnyRunActive())
+      << "FlightRecorder::EnableShards during a partitioned run";
+  shards_.clear();
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    for (int s = 0; s < kNumRecorderStreams; ++s) {
+      const size_t cap = RingCapacity(config_, static_cast<RecorderStream>(s));
+      shards_.back()->streams[static_cast<size_t>(s)].ring.resize(cap > 0 ? cap : 1);
+    }
+  }
+  // Partitioned: bundle serialization needs merged reads and must wait for
+  // the epoch boundary, where exactly one thread runs.
+  deferred_ = num_shards > 1;
+}
+
+FlightRecorder::Shard& FlightRecorder::CurShard() {
+  const size_t island = static_cast<size_t>(CurrentIslandId());
+  return *shards_[island < shards_.size() ? island : 0];
+}
+
+void FlightRecorder::Append(RecorderStream stream, RecorderRecord rec) {
+  Shard& shard = CurShard();
+  StreamRing& r = shard.streams[static_cast<size_t>(stream)];
+  rec.seq = shard.next_seq++;
+  rec.island = static_cast<uint32_t>(
+      std::min<size_t>(static_cast<size_t>(CurrentIslandId()), shards_.size() - 1));
+  rec.stream = stream;
+  r.ring[r.head] = rec;
+  r.head = r.head + 1 == r.ring.size() ? 0 : r.head + 1;
+  if (r.size < r.ring.size()) {
+    ++r.size;
+  }
+  ++r.recorded;
+}
+
+void FlightRecorder::RecordFlowEvent(const FlowEvent& e) {
+  RecorderRecord rec;
+  rec.t = e.t;
+  rec.type = static_cast<uint8_t>(e.type);
+  rec.a = e.flow;
+  rec.b = e.a;
+  rec.c = e.b;
+  rec.d = e.c;
+  Append(RecorderStream::kFlow, rec);
+}
+
+void FlightRecorder::RecordLatency(TimeNs t, uint64_t e2e_ns, uint64_t queue_ns,
+                                   uint64_t service_ns) {
+  RecorderRecord rec;
+  rec.t = t;
+  rec.a = e2e_ns;
+  rec.b = queue_ns;
+  rec.c = service_ns;
+  Append(RecorderStream::kLatency, rec);
+}
+
+void FlightRecorder::RecordCausal(TimeNs t, uint64_t trace_id, uint8_t request_class,
+                                  uint64_t e2e_ns) {
+  RecorderRecord rec;
+  rec.t = t;
+  rec.type = request_class;
+  rec.a = trace_id;
+  rec.b = e2e_ns;
+  Append(RecorderStream::kCausal, rec);
+}
+
+void FlightRecorder::RecordSlo(TimeNs t, SloKind kind, double measured, bool breached) {
+  RecorderRecord rec;
+  rec.t = t;
+  rec.type = static_cast<uint8_t>(kind);
+  rec.a = breached ? 1 : 0;
+  rec.v = measured;
+  Append(RecorderStream::kSlo, rec);
+}
+
+std::vector<RecorderRecord> FlightRecorder::CaptureWindow(TimeNs from, TimeNs to) const {
+  std::vector<RecorderRecord> out;
+  for (const auto& shard : shards_) {
+    for (const StreamRing& r : shard->streams) {
+      const size_t start = r.size == r.ring.size() ? r.head : 0;
+      for (size_t i = 0; i < r.size; ++i) {
+        const RecorderRecord& rec = r.ring[(start + i) % r.ring.size()];
+        if (rec.t >= from && rec.t <= to) {
+          out.push_back(rec);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RecorderRecord& x, const RecorderRecord& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (x.island != y.island) return x.island < y.island;
+    return x.seq < y.seq;
+  });
+  return out;
+}
+
+uint64_t FlightRecorder::recorded(RecorderStream stream) const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->streams[static_cast<size_t>(stream)].recorded;
+  }
+  return sum;
+}
+
+uint64_t FlightRecorder::overwritten(RecorderStream stream) const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    const StreamRing& r = shard->streams[static_cast<size_t>(stream)];
+    sum += r.recorded - r.size;
+  }
+  return sum;
+}
+
+void FlightRecorder::Trigger(SloTrigger trigger, std::function<std::string()> context_json) {
+  if (deferred_) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(PendingTrigger{std::move(trigger), std::move(context_json)});
+    return;
+  }
+  // Serial executor: the single simulation thread is already the only one
+  // touching recorder state — serialize at the breach point.
+  PendingTrigger pending{std::move(trigger), std::move(context_json)};
+  Serialize(pending);
+}
+
+void FlightRecorder::OnEpochBound(TimeNs) {
+  std::vector<PendingTrigger> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_.empty()) {
+      return;
+    }
+    batch.swap(pending_);
+  }
+  // Several hosts can breach inside one epoch, each from its own island
+  // thread: impose the workload-defined order, not the queueing order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingTrigger& x, const PendingTrigger& y) {
+                     if (x.trigger.t != y.trigger.t) return x.trigger.t < y.trigger.t;
+                     if (x.trigger.source != y.trigger.source)
+                       return x.trigger.source < y.trigger.source;
+                     return x.trigger.slo < y.trigger.slo;
+                   });
+  for (PendingTrigger& pending : batch) {
+    Serialize(pending);
+  }
+}
+
+void FlightRecorder::Serialize(PendingTrigger& pending) {
+  SloTrigger& trigger = pending.trigger;
+  const bool write = !config_.bundle_prefix.empty() && bundles_written_ < config_.max_bundles;
+  trigger.bundle = write ? bundles_written_ : -1;
+  if (write) {
+    const std::vector<RecorderRecord> records =
+        CaptureWindow(trigger.window_from, trigger.window_to);
+    const std::string base =
+        config_.bundle_prefix + ".bundle" + std::to_string(bundles_written_);
+    {
+      std::ofstream os(base + ".json");
+      os << "{\"trigger\":" << SloTriggerToJson(trigger)
+         << ",\"records\":" << records.size() << ",\"context\":"
+         << (pending.context_json ? pending.context_json() : std::string("{}")) << "}\n";
+    }
+    {
+      std::ofstream os(base + ".jsonl");
+      WriteBundleJsonl(records, os);
+    }
+    {
+      std::ofstream os(base + ".perfetto.json");
+      WriteBundlePerfetto(trigger, records, os);
+    }
+    ++bundles_written_;
+    TAS_LOG(INFO) << "watchdog breach '" << trigger.slo << "' at t=" << trigger.t
+                  << "ns: wrote " << base << ".{json,jsonl,perfetto.json} ("
+                  << records.size() << " records)";
+  }
+  triggers_.push_back(trigger);
+}
+
+void FlightRecorder::WriteBundleJsonl(const std::vector<RecorderRecord>& records,
+                                      std::ostream& os) const {
+  for (const RecorderRecord& rec : records) {
+    os << "{\"t\":" << rec.t << ",\"island\":" << rec.island << ",\"seq\":" << rec.seq
+       << ",\"stream\":\"" << RecorderStreamName(rec.stream) << '"';
+    switch (rec.stream) {
+      case RecorderStream::kFlow: {
+        const auto type = static_cast<FlowEventType>(rec.type);
+        os << ",\"type\":\"" << FlowEventTypeName(type) << "\",\"flow\":" << rec.a;
+        const char* an;
+        const char* bn;
+        const char* cn;
+        FlowEventArgNames(type, &an, &bn, &cn);
+        if (an[0] != '\0') os << ",\"" << an << "\":" << rec.b;
+        if (bn[0] != '\0') os << ",\"" << bn << "\":" << rec.c;
+        if (cn[0] != '\0') os << ",\"" << cn << "\":" << rec.d;
+        break;
+      }
+      case RecorderStream::kLatency:
+        os << ",\"e2e_ns\":" << rec.a << ",\"queue_ns\":" << rec.b
+           << ",\"service_ns\":" << rec.c;
+        break;
+      case RecorderStream::kCausal:
+        os << ",\"class\":\"" << RequestClassName(static_cast<RequestClass>(rec.type))
+           << "\",\"trace\":" << rec.a << ",\"e2e_ns\":" << rec.b;
+        break;
+      case RecorderStream::kSlo:
+        os << ",\"slo\":\"" << SloKindName(static_cast<SloKind>(rec.type))
+           << "\",\"measured\":" << JsonNumber(rec.v) << ",\"breached\":" << rec.a;
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+void FlightRecorder::WriteBundlePerfetto(const SloTrigger& trigger,
+                                         const std::vector<RecorderRecord>& records,
+                                         std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"args\":{\"name\":\"flight-recorder\"}}";
+  // Name one track per (island, stream) that actually has records.
+  std::vector<uint64_t> named;
+  for (const RecorderRecord& rec : records) {
+    const uint64_t track = IslandTrack(rec.island, rec.stream);
+    if (std::find(named.begin(), named.end(), track) == named.end()) {
+      named.push_back(track);
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kPid
+         << ",\"tid\":" << track << ",\"args\":{\"name\":\"island-" << rec.island << '-'
+         << RecorderStreamName(rec.stream) << "\"}}";
+    }
+  }
+  // The evidence window as one span on the trigger's own track, so the
+  // breach context frames everything else.
+  sep();
+  os << "{\"name\":\"" << trigger.slo << "\",\"cat\":\"slo\",\"ph\":\"X\",\"ts\":"
+     << TsUs(trigger.window_from) << ",\"dur\":"
+     << TsUs(trigger.window_to - trigger.window_from) << ",\"pid\":" << kPid
+     << ",\"tid\":" << kIslandTrackBase - 1 << ",\"args\":{\"measured\":"
+     << JsonNumber(trigger.measured) << ",\"threshold\":" << JsonNumber(trigger.threshold)
+     << "}}";
+  sep();
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"tid\":" << kIslandTrackBase - 1 << ",\"args\":{\"name\":\"slo-trigger\"}}";
+  for (const RecorderRecord& rec : records) {
+    const uint64_t track = IslandTrack(rec.island, rec.stream);
+    switch (rec.stream) {
+      case RecorderStream::kFlow:
+        sep();
+        os << "{\"name\":\"" << FlowEventTypeName(static_cast<FlowEventType>(rec.type))
+           << "\",\"cat\":\"flow\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << TsUs(rec.t)
+           << ",\"pid\":" << kPid << ",\"tid\":" << track << ",\"args\":{\"flow\":" << rec.a
+           << "}}";
+        break;
+      case RecorderStream::kLatency:
+        // Packet e2e latency as a counter track (µs).
+        sep();
+        os << "{\"name\":\"e2e_us\",\"cat\":\"latency\",\"ph\":\"C\",\"ts\":" << TsUs(rec.t)
+           << ",\"pid\":" << kPid << ",\"tid\":" << track << ",\"args\":{\"e2e_us\":"
+           << JsonNumber(static_cast<double>(rec.a) / 1000.0) << "}}";
+        break;
+      case RecorderStream::kCausal:
+        sep();
+        os << "{\"name\":\"" << RequestClassName(static_cast<RequestClass>(rec.type))
+           << "\",\"cat\":\"causal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << TsUs(rec.t)
+           << ",\"pid\":" << kPid << ",\"tid\":" << track
+           << ",\"args\":{\"e2e_us\":"
+           << JsonNumber(static_cast<double>(rec.b) / 1000.0) << "}}";
+        break;
+      case RecorderStream::kSlo:
+        sep();
+        os << "{\"name\":\"" << SloKindName(static_cast<SloKind>(rec.type))
+           << "\",\"cat\":\"slo\",\"ph\":\"C\",\"ts\":" << TsUs(rec.t)
+           << ",\"pid\":" << kPid << ",\"tid\":" << track << ",\"args\":{\"measured\":"
+           << JsonNumber(rec.v) << "}}";
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::string SloTriggerToJson(const SloTrigger& trigger) {
+  std::ostringstream os;
+  os << "{\"slo\":";
+  JsonEscape(trigger.slo, os);
+  os << ",\"kind\":\"" << SloKindName(trigger.kind) << "\",\"measured\":"
+     << JsonNumber(trigger.measured) << ",\"threshold\":" << JsonNumber(trigger.threshold)
+     << ",\"burn_windows\":" << trigger.burn_windows << ",\"t\":" << trigger.t
+     << ",\"window_from\":" << trigger.window_from << ",\"window_to\":" << trigger.window_to
+     << ",\"source\":";
+  JsonEscape(trigger.source, os);
+  os << ",\"bundle\":" << trigger.bundle << "}";
+  return os.str();
+}
+
+}  // namespace tas

@@ -1,0 +1,245 @@
+// Always-on flight recorder + diagnostic bundles (DESIGN.md §15).
+//
+// A production TCP service needs a black box: when a p99 SLO burns or
+// retransmits spike, operators must get the evidence *window* without
+// re-running with full tracing on. The FlightRecorder continuously retains
+// the last W ms of four record streams — flow events, latency-anatomy
+// completions, causal-trace completions, and the watchdog's per-check SLO
+// measurements — in bounded per-island rings using the PR 5/7 discipline:
+// fixed-capacity rings of POD records, overwrite-oldest, per-stream drop
+// counters. Every tap is a plain array write into thread-owned (per-island)
+// memory; the armed-but-untriggered cost is a null/flag check per site plus
+// that write, and nothing on the simulation side changes (no CPU charges, no
+// RNG draws, no packets) — armed runs are timing-passive.
+//
+// On a watchdog breach (src/tas/watchdog) the recorder serializes a
+// *diagnostic bundle*: the window's merged records (JSONL + Perfetto), a full
+// metrics snapshot of the breaching host, steering / flow-table / slow-path
+// state, and a machine-readable trigger record (which SLO, evidence window,
+// measured vs threshold). Triggers read only deterministic sim state and
+// bundles are serialized at deterministic points (the epoch boundary under
+// the partitioned executor, where exactly one thread runs), so same-seed
+// runs produce byte-identical bundles at every sim_threads width.
+//
+// Reached through the process-wide Install/Current pattern (LatencyTracer
+// precedent): the first watchdog-enabled TAS host installs the recorder;
+// every tap site in every host then feeds it.
+#ifndef SRC_TRACE_FLIGHT_RECORDER_H_
+#define SRC_TRACE_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/trace/flow_tracer.h"
+#include "src/util/time.h"
+
+namespace tas {
+
+// --- SLO specification (the watchdog's declarative input) -------------------
+
+enum class SloKind : uint8_t {
+  kE2eLatencyP99 = 0,    // Windowed packet e2e p99 [ns] (island-local shard).
+  kRetransmitRate,       // Retransmits per second over the check window.
+  kSlowPathQueueDepth,   // Exception-queue depth at check time [packets].
+  kFlowTableProbeP99,    // Windowed flow-table probe-length p99 [groups].
+  kCoreImbalance,        // Busiest active core's share of the window's
+                         // fast-path busy time, normalized: max/mean in
+                         // [1, active_cores].
+  kMetricValue,          // Any registered gauge/counter by name (SloSpec::
+                         // metric) at check time — proxy SLOs use this.
+};
+inline constexpr int kNumSloKinds = 6;
+
+const char* SloKindName(SloKind kind);
+
+struct SloSpec {
+  std::string name;       // Stable identifier used in triggers and bundles.
+  SloKind kind = SloKind::kE2eLatencyP99;
+  double threshold = 0;   // Breach when measured > threshold.
+  int burn_windows = 3;   // Consecutive breached checks before triggering.
+  // Evaluation floor: percentile kinds need this many window samples;
+  // kCoreImbalance needs this many busy ns in the window. Below it the check
+  // records its measurement but cannot breach (idle windows are not anomalies).
+  uint64_t min_count = 16;
+  std::string metric;     // kMetricValue: registered metric name to read.
+};
+
+// TasConfig::watchdog — arms the recorder + watchdog on a TAS host.
+struct WatchdogConfig {
+  bool enabled = false;
+  // SLO evaluation cadence; 0 = the service's monitor_interval.
+  TimeNs check_interval = 0;
+  // Evidence window: a trigger captures [breach - recorder_window, breach].
+  TimeNs recorder_window = Ms(50);
+  // Per-island ring capacities, one ring per stream.
+  size_t flow_ring_capacity = 1u << 14;
+  size_t latency_ring_capacity = 1u << 14;
+  size_t causal_ring_capacity = 1u << 13;
+  size_t slo_ring_capacity = 1u << 12;
+  // Empty = DefaultSlos() (conservative thresholds that never fire on a
+  // healthy run; see flight_recorder.cc).
+  std::vector<SloSpec> slos;
+  // Bundle file prefix; files are "<prefix>.bundle<k>.{json,jsonl,
+  // perfetto.json}". Empty = armed in-memory only (triggers still recorded).
+  std::string bundle_prefix;
+  int max_bundles = 4;         // Further triggers are recorded, not serialized.
+  TimeNs cooldown = Ms(20);    // Per-SLO quiet period after a trigger.
+};
+
+// Returns the conservative default SLO set (used when WatchdogConfig::slos
+// is empty): generous thresholds on e2e p99, retransmit rate, slow-path
+// queue depth, flow-table probe p99, and core imbalance.
+std::vector<SloSpec> DefaultSlos();
+
+// --- Recorder records --------------------------------------------------------
+
+enum class RecorderStream : uint8_t { kFlow = 0, kLatency, kCausal, kSlo };
+inline constexpr int kNumRecorderStreams = 4;
+
+const char* RecorderStreamName(RecorderStream stream);
+
+// One retained record. POD: ring writes never allocate. The payload slots are
+// stream-typed:
+//   kFlow:    type = FlowEventType, a = flow id, b/c/d = event args a/b/c.
+//   kLatency: a = e2e ns, b = queue-wait ns, c = service ns.
+//   kCausal:  type = RequestClass, a = trace id, b = e2e ns.
+//   kSlo:     type = SloKind, v = measured value (a = 1 if breached).
+struct RecorderRecord {
+  TimeNs t = 0;
+  uint64_t seq = 0;    // Per-island append order (total order with t+island).
+  uint32_t island = 0;
+  RecorderStream stream = RecorderStream::kFlow;
+  uint8_t type = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+  double v = 0;
+};
+
+// --- Trigger record ----------------------------------------------------------
+
+// Machine-readable description of one watchdog breach.
+struct SloTrigger {
+  std::string slo;        // SloSpec::name.
+  SloKind kind = SloKind::kE2eLatencyP99;
+  double measured = 0;
+  double threshold = 0;
+  int burn_windows = 0;   // Consecutive breached checks that armed this.
+  TimeNs t = 0;           // Breach (check) time.
+  TimeNs window_from = 0; // Evidence window [window_from, window_to] ==
+  TimeNs window_to = 0;   //   [t - recorder_window, t].
+  std::string source;     // Breaching host, e.g. "h1".
+  int bundle = -1;        // Bundle index, or -1 if not serialized (no prefix
+                          // or max_bundles exhausted).
+};
+
+// --- FlightRecorder ----------------------------------------------------------
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const WatchdogConfig& config);
+
+  // Process-wide active recorder (LatencyTracer::Install pattern). Rejected
+  // while a partitioned run is executing.
+  static FlightRecorder* Install(FlightRecorder* recorder);
+  static FlightRecorder* Current() { return current_; }
+
+  // Sizes the per-island shard table for a partitioned run and switches
+  // bundle serialization to deferred mode (triggers queue; OnEpochBound
+  // serializes them single-threaded). Must run before any record is appended.
+  void EnableShards(int num_shards);
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool deferred() const { return deferred_; }
+
+  const WatchdogConfig& config() const { return config_; }
+
+  // --- Taps (called from the owning island's thread; ring write only) -------
+  void RecordFlowEvent(const FlowEvent& e);
+  void RecordLatency(TimeNs t, uint64_t e2e_ns, uint64_t queue_ns, uint64_t service_ns);
+  void RecordCausal(TimeNs t, uint64_t trace_id, uint8_t request_class, uint64_t e2e_ns);
+  void RecordSlo(TimeNs t, SloKind kind, double measured, bool breached);
+
+  // --- Window capture (merged; single-threaded contexts only) ---------------
+  // All retained records with t in [from, to], merged across islands and
+  // streams, sorted by (t, island, seq) — a total order fixed by the workload,
+  // not by thread count.
+  std::vector<RecorderRecord> CaptureWindow(TimeNs from, TimeNs to) const;
+
+  // Per-stream retention counters, summed over shards (read between runs or
+  // at an epoch boundary; a mid-run merged read from a worker would race).
+  uint64_t recorded(RecorderStream stream) const;
+  uint64_t overwritten(RecorderStream stream) const;
+
+  // --- Triggers & bundles ----------------------------------------------------
+  // Queues a breach for serialization. `context_json` is invoked at
+  // serialization time (single-threaded) and returns the bundle's "context"
+  // object: metrics snapshot, steering/flow-table/slow-path state. In
+  // deferred mode the bundle is written by the next OnEpochBound; in serial
+  // mode it is written immediately.
+  void Trigger(SloTrigger trigger, std::function<std::string()> context_json);
+
+  // Epoch-boundary hook (SimPartition::SetEpochHook): exactly one thread
+  // executes this while all workers are parked, so merged reads and file
+  // writes are race-free. Serializes every queued trigger in (t, source, slo)
+  // order.
+  void OnEpochBound(TimeNs bound);
+
+  // All triggers so far, in serialization order (benches and tests assert on
+  // these without touching the filesystem). Same single-threaded-read rule.
+  const std::vector<SloTrigger>& triggers() const { return triggers_; }
+  int bundles_written() const { return bundles_written_; }
+
+ private:
+  struct StreamRing {
+    std::vector<RecorderRecord> ring;
+    size_t head = 0;  // Next write slot.
+    size_t size = 0;  // Valid records (<= capacity).
+    uint64_t recorded = 0;
+  };
+
+  struct Shard {
+    std::array<StreamRing, kNumRecorderStreams> streams;
+    uint64_t next_seq = 0;
+  };
+
+  struct PendingTrigger {
+    SloTrigger trigger;
+    std::function<std::string()> context_json;
+  };
+
+  Shard& CurShard();
+  void Append(RecorderStream stream, RecorderRecord rec);
+  void Serialize(PendingTrigger& pending);
+  void WriteBundleJsonl(const std::vector<RecorderRecord>& records, std::ostream& os) const;
+  void WriteBundlePerfetto(const SloTrigger& trigger,
+                           const std::vector<RecorderRecord>& records,
+                           std::ostream& os) const;
+
+  static FlightRecorder* current_;
+
+  WatchdogConfig config_;
+  bool deferred_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Breaches queue from island threads (several can breach inside one epoch);
+  // the mutex guards only this handoff, never a tap.
+  std::mutex pending_mu_;
+  std::vector<PendingTrigger> pending_;
+
+  std::vector<SloTrigger> triggers_;
+  int bundles_written_ = 0;
+};
+
+// Serializes a trigger as a single-line JSON object (the bundle's "trigger"
+// field and the WATCHDOG JSON lines benches emit).
+std::string SloTriggerToJson(const SloTrigger& trigger);
+
+}  // namespace tas
+
+#endif  // SRC_TRACE_FLIGHT_RECORDER_H_

@@ -1,5 +1,6 @@
 #include "src/trace/flow_tracer.h"
 
+#include "src/trace/flight_recorder.h"
 #include "src/trace/metric_registry.h"
 #include "src/util/logging.h"
 
@@ -56,8 +57,17 @@ FlowTracer::FlowTracer(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {}
 
 void FlowTracer::RecordSlow(TimeNs t, uint64_t flow, FlowEventType type, uint64_t a,
                             uint64_t b, uint64_t c) {
+  if (recorder_tap_) {
+    if (FlightRecorder* recorder = FlightRecorder::Current()) {
+      recorder->RecordFlowEvent(FlowEvent{t, flow, type, a, b, c});
+    }
+  }
   if (!enabled(flow)) {
     return;
+  }
+  if (size_ == ring_.size()) {
+    // Ring full: this write evicts the oldest record — charge ITS type.
+    ++overwritten_by_type_[static_cast<size_t>(ring_[head_].type)];
   }
   ring_[head_] = FlowEvent{t, flow, type, a, b, c};
   head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
@@ -82,6 +92,7 @@ void FlowTracer::Clear() {
   head_ = 0;
   size_ = 0;
   recorded_ = 0;
+  overwritten_by_type_.fill(0);
 }
 
 void FlowTracer::WriteJsonl(std::ostream& os) const {

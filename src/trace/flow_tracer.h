@@ -10,6 +10,7 @@
 #ifndef SRC_TRACE_FLOW_TRACER_H_
 #define SRC_TRACE_FLOW_TRACER_H_
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <unordered_set>
@@ -18,6 +19,8 @@
 #include "src/util/time.h"
 
 namespace tas {
+
+inline constexpr int kNumFlowEventTypes = 20;
 
 enum class FlowEventType : uint8_t {
   kConnState,           // a = ConnState enum value after the transition.
@@ -69,16 +72,22 @@ class FlowTracer {
   void EnableFlow(uint64_t flow) { per_flow_.insert(flow); }
   void DisableFlow(uint64_t flow) { per_flow_.erase(flow); }
 
+  // Forward every event to the process-wide FlightRecorder (flight_recorder.h)
+  // in addition to (and independent of) this tracer's own ring. The recorder
+  // tap sees all flows even when neither global nor per-flow tracing is on.
+  void SetRecorderTap(bool enabled) { recorder_tap_ = enabled; }
+  bool recorder_tap() const { return recorder_tap_; }
+
   // True if any Record call could store something — call sites may use this
   // to skip argument marshalling, but Record itself is safe to call always.
-  bool active() const { return global_ || !per_flow_.empty(); }
+  bool active() const { return global_ || recorder_tap_ || !per_flow_.empty(); }
   bool enabled(uint64_t flow) const {
     return global_ || (!per_flow_.empty() && per_flow_.count(flow) != 0);
   }
 
   void Record(TimeNs t, uint64_t flow, FlowEventType type, uint64_t a = 0, uint64_t b = 0,
               uint64_t c = 0) {
-    if (!global_ && per_flow_.empty()) {
+    if (!global_ && !recorder_tap_ && per_flow_.empty()) {
       return;
     }
     RecordSlow(t, flow, type, a, b, c);
@@ -91,6 +100,12 @@ class FlowTracer {
   uint64_t recorded() const { return recorded_; }
   // Records overwritten because the ring wrapped.
   uint64_t overwritten() const { return recorded_ - size_; }
+  // Overwrites attributed to the event type that was LOST (the overwritten
+  // record's type, not the incoming one) — tells ring-sizing which stream
+  // actually overflowed.
+  uint64_t overwritten_by_type(FlowEventType type) const {
+    return overwritten_by_type_[static_cast<size_t>(type)];
+  }
   void Clear();
 
   // One JSON object per line, typed arg names:
@@ -102,11 +117,13 @@ class FlowTracer {
                   uint64_t c);
 
   bool global_ = false;
+  bool recorder_tap_ = false;
   std::unordered_set<uint64_t> per_flow_;
   std::vector<FlowEvent> ring_;
   size_t head_ = 0;  // Next write slot.
   size_t size_ = 0;  // Valid records (<= capacity).
   uint64_t recorded_ = 0;
+  std::array<uint64_t, kNumFlowEventTypes> overwritten_by_type_ = {};
 };
 
 }  // namespace tas

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/sim/parallel.h"
+#include "src/trace/flight_recorder.h"
 #include "src/util/island.h"
 #include "src/util/logging.h"
 
@@ -174,6 +175,10 @@ void LatencyTracer::Finish(uint64_t id, LatencyStage stage, TimeNs now) {
   shard.service_stats.Add(static_cast<double>(service_ns));
   ++shard.completed;
   r->id = 0;
+
+  if (FlightRecorder* recorder = FlightRecorder::Current()) {
+    recorder->RecordLatency(now, e2e, queue_ns, service_ns);
+  }
 }
 
 void LatencyTracer::Abandon(uint64_t id) {

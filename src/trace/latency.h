@@ -158,6 +158,11 @@ class LatencyTracer {
   LogHistogram e2e_hist() const;
   RunningStats e2e_stats() const;
 
+  // The CALLING island's e2e histogram, by reference: safe to read mid-run
+  // from a worker (thread-owned memory, unlike the merged views above). The
+  // watchdog's windowed p99 snapshots this each check.
+  const LogHistogram& LocalE2eHist() { return CurShard().e2e_hist; }
+
   LatencyReport Report() const;
   void Clear();
 

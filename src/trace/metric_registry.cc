@@ -55,6 +55,21 @@ bool MetricRegistry::Has(const std::string& name) const {
   return false;
 }
 
+bool MetricRegistry::ReadValue(const std::string& name, double* out) const {
+  for (const Entry& e : entries_) {
+    if (e.name != name) {
+      continue;
+    }
+    if (e.kind == MetricKind::kCounter) {
+      *out = static_cast<double>(e.counter != nullptr ? *e.counter : e.counter_fn());
+    } else {
+      *out = e.gauge_fn();
+    }
+    return true;
+  }
+  return false;
+}
+
 MetricSnapshot MetricRegistry::Snapshot() const {
   MetricSnapshot out;
   out.reserve(entries_.size());

@@ -55,6 +55,11 @@ class MetricRegistry {
   bool Has(const std::string& name) const;
   size_t size() const { return entries_.size(); }
 
+  // Reads one metric's current value by name (linear scan; fine at the
+  // watchdog's check cadence). Returns false if the name is not registered.
+  // kMetricValue SLOs evaluate through this.
+  bool ReadValue(const std::string& name, double* out) const;
+
   MetricSnapshot Snapshot() const;
   // Counters: after - before (new entries keep their value). Gauges: the
   // `after` value. Entries only in `before` are dropped.

@@ -147,6 +147,18 @@ void LogHistogram::Merge(const LogHistogram& other) {
   count_ += other.count_;
 }
 
+LogHistogram LogHistogram::DiffSince(const LogHistogram& earlier) const {
+  LogHistogram out;
+  for (int i = 0; i < kBuckets; ++i) {
+    // Clamped: a shrunken bucket means `earlier` came from a different (or
+    // reset) histogram; treat it as an empty window rather than wrapping.
+    out.buckets_[i] =
+        buckets_[i] >= earlier.buckets_[i] ? buckets_[i] - earlier.buckets_[i] : 0;
+    out.count_ += out.buckets_[i];
+  }
+  return out;
+}
+
 uint64_t LogHistogram::ApproxPercentile(double p) const {
   if (count_ == 0) {
     return 0;

@@ -75,6 +75,12 @@ class LogHistogram {
   // Folds another histogram in (bucket-wise sum) — combines per-core or
   // per-stage histograms into one distribution.
   void Merge(const LogHistogram& other);
+  // Bucket-wise clamped difference against an earlier snapshot of the same
+  // (cumulative, never-reset) histogram: the distribution of samples added
+  // since `earlier` was copied. Windowed percentiles — e.g. an SLO watchdog
+  // evaluating "p99 over the last interval" — come from
+  // cur.DiffSince(prev).ApproxPercentile(p).
+  LogHistogram DiffSince(const LogHistogram& earlier) const;
   uint64_t count() const { return count_; }
   // Upper bound of the smallest non-empty bucket whose cumulative count
   // covers p% (p=0 returns the first non-empty bucket's bound; an empty
